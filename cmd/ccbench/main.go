@@ -1,0 +1,85 @@
+// Command ccbench regenerates every table and figure of the paper's
+// evaluation section and prints them with the paper's own numbers
+// alongside, so shape agreement can be read off directly.
+//
+// Usage:
+//
+//	ccbench [-quick] [-only table3] [-seed 1]
+//
+// The full run trains the demo-scale networks and takes a few minutes on
+// one CPU; -quick halves the training budgets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"computecovid19/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-scale run (same settings as the test suite)")
+	only := flag.String("only", "", "comma-separated subset, e.g. table3,figure13")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.ToLower(strings.TrimSpace(name))] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	// The accuracy bundle is shared by table8/table9/figure11/12/13.
+	var acc *experiments.AccuracyResult
+	needAcc := sel("table8") || sel("table9") || sel("figure11") || sel("figure12") || sel("figure13")
+	if needAcc {
+		fmt.Fprintln(os.Stderr, "ccbench: running the accuracy experiment (trains DDnet + classifier)...")
+		start := time.Now()
+		acc = experiments.RunAccuracy(cfg)
+		fmt.Fprintf(os.Stderr, "ccbench: accuracy experiment done in %v\n", time.Since(start).Round(time.Second))
+	}
+
+	type item struct {
+		name string
+		run  func() string
+	}
+	items := []item{
+		{"table1", func() string { return experiments.Table1(cfg) }},
+		{"table2", func() string { return experiments.Table2(cfg) }},
+		{"table3", func() string { return experiments.Table3(cfg) }},
+		{"table4", func() string { return experiments.Table4(cfg) }},
+		{"table5", func() string { return experiments.Table5(cfg) }},
+		{"table6", func() string { return experiments.Table6(cfg) }},
+		{"table7", func() string { return experiments.Table7(cfg) }},
+		{"table8", func() string { return experiments.Table8(acc) }},
+		{"table9", func() string { return experiments.Table9(acc) }},
+		{"table10", func() string { return experiments.Table10(cfg) }},
+		{"figure2", func() string { return experiments.Figure2(cfg) }},
+		{"figure8", func() string { return experiments.Figure8(cfg) }},
+		{"figure11", func() string { return experiments.Figure11(acc) }},
+		{"figure12", func() string { return experiments.Figure12(acc) }},
+		{"figure13", func() string { return experiments.Figure13(acc) }},
+		{"timings", func() string { return experiments.SectionTimings(cfg) }},
+		{"turnaround", func() string { return experiments.Turnaround(cfg) }},
+		{"ablation", func() string { return experiments.Ablation(cfg) }},
+		{"dimensionality", func() string { return experiments.Dimensionality(cfg) }},
+	}
+	for _, it := range items {
+		if !sel(it.name) {
+			continue
+		}
+		fmt.Println(it.run())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesAllImages(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(32, 60, 48, 1e6, 0.1, 1, 7, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"phantom.png", "sinogram.png", "fbp_fulldose.png", "fbp_lowdose.png", "absdiff.png",
+	} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}
+
+func TestRunHealthyPhantom(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(24, 40, 32, 1e5, 0.25, 0, 8, dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadOutputDir(t *testing.T) {
+	if err := run(16, 20, 16, 1e5, 0.5, 0, 9, "/proc/definitely/not/writable"); err == nil {
+		t.Fatal("expected error for unwritable output directory")
+	}
+}

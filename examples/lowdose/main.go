@@ -1,0 +1,123 @@
+// Low-dose CT walk-through: the paper's §3.1.2 simulation chain step by
+// step — phantom in Hounsfield units, Siddon fan-beam projection with
+// the paper's geometry, Beer's-law Poisson noise, filtered back
+// projection — followed by DDnet enhancement, reporting Table 8-style
+// quality numbers at each stage.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"computecovid19/internal/core"
+	"computecovid19/internal/ctsim"
+	"computecovid19/internal/dataset"
+	"computecovid19/internal/ddnet"
+	"computecovid19/internal/metrics"
+	"computecovid19/internal/phantom"
+	"computecovid19/internal/tensor"
+)
+
+func main() {
+	const size = 48
+	rng := rand.New(rand.NewSource(3))
+
+	// A COVID-positive chest phantom.
+	chest := phantom.NewChest(rng, size, 1)
+	chest.AddRandomLesions(rng, 2, 0.9)
+	hu := chest.SliceHU(0)
+	fmt.Printf("phantom: %d×%d px, HU range [%.0f, %.0f]\n", size, size,
+		minf(hu), maxf(hu))
+
+	// Fan-beam acquisition with the paper's geometry (SOD 1000 mm,
+	// SDD 1500 mm), scaled detector/view counts.
+	grid := ctsim.Grid{Size: size, PixelSize: 360.0 / size}
+	fan := ctsim.PaperFanGeometry(grid.FOV())
+	fan.NumViews, fan.NumDetectors = 180, 96
+	fan.DetectorSpacing = grid.FOV() * 1.5 * (fan.SDD / fan.SOD) / float64(fan.NumDetectors)
+
+	mu := ctsim.HUImageToMu(hu)
+	sino := ctsim.ForwardProjectFan(grid, mu, fan)
+	fmt.Printf("sinogram: %d views × %d detectors, max line integral %.2f\n",
+		sino.Views, sino.Det, maxs(sino.Data))
+
+	// Beer's law + Poisson noise at two dose levels, then FBP.
+	clean := normalize(hu)
+	for _, b := range []float64{1e6, 200} {
+		noisy := ctsim.ApplyPoissonNoise(sino, b, rng)
+		rec := ctsim.MuImageToHU(ctsim.ReconstructFan(noisy, grid, fan, ctsim.RamLak))
+		recN := normalize(rec)
+		fmt.Printf("FBP @ b=%.0e photons/ray: PSNR %.2f dB, SSIM %.4f\n",
+			b, metrics.PSNR(clean, recN, 1), metrics.SSIM(clean, recN))
+	}
+
+	// Train DDnet on pairs from the same physics and enhance a held-out
+	// low-dose image.
+	fmt.Println("\ntraining DDnet on simulated low-dose pairs...")
+	cfg := dataset.EnhancementConfig{
+		Size: size, Count: 10, Views: 180, Detectors: 96,
+		PhotonsPerRay: 1e6, DoseDivisor: 5000, LesionFraction: 0.5, Seed: 4,
+	}
+	pairs := dataset.BuildEnhancement(cfg)
+	train, test := pairs[:8], pairs[8:]
+	net := ddnet.New(rand.New(rand.NewSource(5)), ddnet.TinyConfig())
+	tc := core.DefaultEnhancerTraining()
+	tc.Epochs = 8
+	core.TrainEnhancer(net, train, tc)
+
+	for i, p := range test {
+		enh := net.Enhance(p.LowDose)
+		fmt.Printf("test image %d: low-dose MSE %.5f → enhanced MSE %.5f (MS-SSIM %.4f → %.4f)\n",
+			i,
+			metrics.MSE(p.Clean, p.LowDose), metrics.MSE(p.Clean, enh),
+			metrics.MSSSIM(p.Clean, p.LowDose), metrics.MSSSIM(p.Clean, enh))
+	}
+}
+
+func normalize(hu []float32) *tensor.Tensor {
+	t := tensor.New(1, len(hu))
+	side := isqrt(len(hu))
+	t = tensor.New(side, side)
+	for i, v := range hu {
+		t.Data[i] = float32(ctsim.NormalizeHU(float64(v), ctsim.FullWindowLo, ctsim.FullWindowHi))
+	}
+	return t
+}
+
+func isqrt(n int) int {
+	for i := 1; ; i++ {
+		if i*i >= n {
+			return i
+		}
+	}
+}
+
+func minf(s []float32) float64 {
+	m := s[0]
+	for _, v := range s {
+		if v < m {
+			m = v
+		}
+	}
+	return float64(m)
+}
+
+func maxf(s []float32) float64 {
+	m := s[0]
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return float64(m)
+}
+
+func maxs(s []float64) float64 {
+	m := s[0]
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,70 @@
+// Screening: run a synthetic low-dose cohort through ComputeCOVID19+
+// with and without Enhancement AI and compare accuracy and AUC-ROC —
+// a miniature of the paper's Figure 13 experiment.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"computecovid19/internal/classify"
+	"computecovid19/internal/core"
+	"computecovid19/internal/dataset"
+	"computecovid19/internal/ddnet"
+	"computecovid19/internal/metrics"
+)
+
+func main() {
+	const (
+		size, depth = 32, 8
+		photons     = 100
+	)
+
+	// Enhancement AI trained on low-dose pairs from the same physics.
+	fmt.Println("training Enhancement AI...")
+	ecfg := dataset.EnhancementConfig{
+		Size: size, Count: 12, Views: 120, Detectors: 64,
+		PhotonsPerRay: 1e6, DoseDivisor: 1e6 / photons, LesionFraction: 0.5, Seed: 11,
+	}
+	enh := ddnet.New(rand.New(rand.NewSource(12)), ddnet.TinyConfig())
+	etc := core.DefaultEnhancerTraining()
+	etc.Epochs = 10
+	core.TrainEnhancer(enh, dataset.BuildEnhancement(ecfg), etc)
+
+	// Classification AI trained on clean scans.
+	fmt.Println("training Classification AI...")
+	ccfg := dataset.CohortConfig{
+		Size: size, Depth: depth, Count: 28, PositiveFraction: 0.5,
+		Severity: 1.0, LowDose: true, Views: 120, Detectors: 64,
+		PhotonsPerRay: photons, Seed: 13,
+	}
+	cohort := dataset.BuildCohort(ccfg)
+	trainCases, _, testCases := dataset.Split(cohort, 0.6, 0)
+	cleanTrain := make([]dataset.Case, len(trainCases))
+	for i, c := range trainCases {
+		cleanTrain[i] = c
+		cleanTrain[i].Volume = c.Clean
+	}
+	cls := classify.New(rand.New(rand.NewSource(14)), classify.SmallConfig())
+	ctc := core.DefaultClassifierTraining()
+	ctc.Epochs, ctc.LR, ctc.Augment = 16, 5e-3, false
+	core.TrainClassifier(cls, cleanTrain, ctc)
+
+	// Screen the degraded test cohort both ways.
+	fmt.Printf("\nscreening %d low-dose scans...\n\n", len(testCases))
+	for _, setup := range []struct {
+		name string
+		pipe *core.Pipeline
+	}{
+		{"Segmentation+Classification          ", core.NewPipeline(nil, cls)},
+		{"Enhancement+Segmentation+Classification", core.NewPipeline(enh, cls)},
+	} {
+		probs, labels := setup.pipe.Score(testCases)
+		th := metrics.BestThreshold(probs, labels)
+		conf := metrics.Confuse(probs, labels, th)
+		fmt.Printf("%s  accuracy %.1f%%  AUC %.3f  (TP %d FP %d FN %d TN %d)\n",
+			setup.name, conf.Accuracy()*100, metrics.AUC(probs, labels),
+			conf.TP, conf.FP, conf.FN, conf.TN)
+	}
+	fmt.Println("\npaper (Figure 13): 86.32% / 0.890 without enhancement, 90.53% / 0.942 with")
+}

@@ -1,0 +1,61 @@
+package computecovid19
+
+import (
+	"math/rand"
+	"testing"
+
+	"computecovid19/internal/classify"
+	"computecovid19/internal/core"
+	"computecovid19/internal/dataset"
+	"computecovid19/internal/ddnet"
+	"computecovid19/internal/tensor"
+)
+
+func randImage(rng *rand.Rand, size int) *tensor.Tensor {
+	return tensor.New(size, size).RandU(rng, 0, 1)
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	enh := NewDDnet(1, ddnet.TinyConfig())
+	cls := NewClassifier(2, classify.SmallConfig())
+	p := NewPipeline(enh, cls)
+
+	ccfg := dataset.DefaultCohortConfig()
+	ccfg.Count = 2
+	ccfg.Size = 32
+	ccfg.Depth = 8
+	cases := BuildCohort(ccfg)
+	r := p.Diagnose(cases[0].Volume)
+	if r.Probability < 0 || r.Probability > 1 {
+		t.Fatalf("probability out of range: %v", r.Probability)
+	}
+}
+
+func TestFacadeTraining(t *testing.T) {
+	ecfg := dataset.DefaultEnhancementConfig()
+	ecfg.Count = 4
+	ecfg.Size = 32
+	ecfg.Views = 60
+	ecfg.Detectors = 48
+	pairs := BuildEnhancementPairs(ecfg)
+	m := NewDDnet(3, ddnet.TinyConfig())
+	tc := core.DefaultEnhancerTraining()
+	tc.Epochs = 2
+	curve := TrainEnhancer(m, pairs, tc)
+	if len(curve) != 2 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+
+	ccfg := dataset.DefaultCohortConfig()
+	ccfg.Count = 8
+	ccfg.Size = 32
+	ccfg.Depth = 8
+	cases := BuildCohort(ccfg)
+	cls := NewClassifier(4, classify.SmallConfig())
+	ctc := core.DefaultClassifierTraining()
+	ctc.Epochs = 2
+	curve = TrainClassifier(cls, cases, ctc)
+	if len(curve) != 2 {
+		t.Fatalf("classifier curve length %d", len(curve))
+	}
+}

@@ -1,0 +1,3 @@
+module computecovid19
+
+go 1.23

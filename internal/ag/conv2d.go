@@ -1,0 +1,192 @@
+package ag
+
+import (
+	"fmt"
+
+	"computecovid19/internal/parallel"
+	"computecovid19/internal/tensor"
+)
+
+// Conv2DConfig holds the hyper-parameters of a 2D convolution.
+type Conv2DConfig struct {
+	Stride  int
+	Padding int
+}
+
+func convOutDim(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}
+
+// Conv2D performs a 2D cross-correlation (the deep-learning convention)
+// of x with weights w and optional bias b.
+//
+//	x: (N, Cin, H, W)    w: (Cout, Cin, KH, KW)    b: (Cout) or nil
+//	out: (N, Cout, OH, OW) with OH = (H + 2*pad - KH)/stride + 1
+//
+// The forward pass is parallelized over (batch, output-channel) pairs.
+func Conv2D(x, w, b *Value, cfg Conv2DConfig) *Value {
+	if x.T.Rank() != 4 || w.T.Rank() != 4 {
+		panic(fmt.Sprintf("ag: Conv2D wants rank-4 x and w, got %v and %v", x.T.Shape, w.T.Shape))
+	}
+	n, cin, h, wd := x.T.Shape[0], x.T.Shape[1], x.T.Shape[2], x.T.Shape[3]
+	cout, wcin, kh, kw := w.T.Shape[0], w.T.Shape[1], w.T.Shape[2], w.T.Shape[3]
+	if cin != wcin {
+		panic(fmt.Sprintf("ag: Conv2D channel mismatch: x has %d, w expects %d", cin, wcin))
+	}
+	if b != nil && (b.T.Rank() != 1 || b.T.Shape[0] != cout) {
+		panic(fmt.Sprintf("ag: Conv2D bias shape %v, want (%d)", b.T.Shape, cout))
+	}
+	s, p := cfg.Stride, cfg.Padding
+	if s <= 0 {
+		panic("ag: Conv2D stride must be positive")
+	}
+	oh, ow := convOutDim(h, kh, s, p), convOutDim(wd, kw, s, p)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("ag: Conv2D output would be %dx%d for input %dx%d k=%dx%d s=%d p=%d",
+			oh, ow, h, wd, kh, kw, s, p))
+	}
+	out := tensor.New(n, cout, oh, ow)
+
+	xd, od := x.T.Data, out.Data
+	wdta := w.T.Data
+	parallel.ForEach(n*cout, 0, func(idx int) {
+		ni, co := idx/cout, idx%cout
+		var bias float32
+		if b != nil {
+			bias = b.T.Data[co]
+		}
+		obase := (ni*cout + co) * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*s - p
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*s - p
+				acc := bias
+				for ci := 0; ci < cin; ci++ {
+					xbase := (ni*cin + ci) * h * wd
+					wbase := ((co*cin + ci) * kh) * kw
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						xrow := xbase + iy*wd
+						wrow := wbase + ky*kw
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							acc += xd[xrow+ix] * wdta[wrow+kx]
+						}
+					}
+				}
+				od[obase+oy*ow+ox] = acc
+			}
+		}
+	})
+
+	return newConv2DNode(x, w, b, cfg, out)
+}
+
+// newConv2DNode wraps a precomputed convolution output in a tape node
+// whose backward closures implement the standard conv gradients. The
+// closures read only the inputs and the output *gradient*, so any
+// forward algorithm (direct loops, im2col) can share them.
+func newConv2DNode(x, w, b *Value, cfg Conv2DConfig, out *tensor.Tensor) *Value {
+	n, cin, h, wd := x.T.Shape[0], x.T.Shape[1], x.T.Shape[2], x.T.Shape[3]
+	cout, _, kh, kw := w.T.Shape[0], w.T.Shape[1], w.T.Shape[2], w.T.Shape[3]
+	s, p := cfg.Stride, cfg.Padding
+	oh, ow := out.Shape[2], out.Shape[3]
+	xd, wdta := x.T.Data, w.T.Data
+
+	var node *Value
+	parents := []*Value{x, w}
+	if b != nil {
+		parents = append(parents, b)
+	}
+	node = newNode("conv2d", out, func() {
+		gy := node.Grad.Data
+		if x.needGrad {
+			gx := x.ensureGrad().Data
+			// Gather formulation: each input cell sums the output cells
+			// it contributed to, so workers write disjoint (n, ci) planes.
+			parallel.ForEach(n*cin, 0, func(idx int) {
+				ni, ci := idx/cin, idx%cin
+				xbase := (ni*cin + ci) * h * wd
+				for iy := 0; iy < h; iy++ {
+					for ix := 0; ix < wd; ix++ {
+						var acc float32
+						for ky := 0; ky < kh; ky++ {
+							oyNum := iy + p - ky
+							if oyNum < 0 || oyNum%s != 0 {
+								continue
+							}
+							oy := oyNum / s
+							if oy >= oh {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								oxNum := ix + p - kx
+								if oxNum < 0 || oxNum%s != 0 {
+									continue
+								}
+								ox := oxNum / s
+								if ox >= ow {
+									continue
+								}
+								for co := 0; co < cout; co++ {
+									acc += gy[((ni*cout+co)*oh+oy)*ow+ox] *
+										wdta[((co*cin+ci)*kh+ky)*kw+kx]
+								}
+							}
+						}
+						gx[xbase+iy*wd+ix] += acc
+					}
+				}
+			})
+		}
+		if w.needGrad {
+			gw := w.ensureGrad().Data
+			parallel.ForEach(cout*cin, 0, func(idx int) {
+				co, ci := idx/cin, idx%cin
+				for ky := 0; ky < kh; ky++ {
+					for kx := 0; kx < kw; kx++ {
+						var acc float32
+						for ni := 0; ni < n; ni++ {
+							xbase := (ni*cin + ci) * h * wd
+							ybase := (ni*cout + co) * oh * ow
+							for oy := 0; oy < oh; oy++ {
+								iy := oy*s - p + ky
+								if iy < 0 || iy >= h {
+									continue
+								}
+								for ox := 0; ox < ow; ox++ {
+									ix := ox*s - p + kx
+									if ix < 0 || ix >= wd {
+										continue
+									}
+									acc += xd[xbase+iy*wd+ix] * gy[ybase+oy*ow+ox]
+								}
+							}
+						}
+						gw[((co*cin+ci)*kh+ky)*kw+kx] += acc
+					}
+				}
+			})
+		}
+		if b != nil && b.needGrad {
+			gb := b.ensureGrad().Data
+			for ni := 0; ni < n; ni++ {
+				for co := 0; co < cout; co++ {
+					base := (ni*cout + co) * oh * ow
+					var acc float32
+					for i := 0; i < oh*ow; i++ {
+						acc += gy[base+i]
+					}
+					gb[co] += acc
+				}
+			}
+		}
+	}, parents...)
+	return node
+}

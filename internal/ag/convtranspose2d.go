@@ -1,0 +1,168 @@
+package ag
+
+import (
+	"fmt"
+
+	"computecovid19/internal/parallel"
+	"computecovid19/internal/tensor"
+)
+
+// ConvTranspose2D performs a 2D transposed convolution (deconvolution),
+// the core operation of DDnet's reconstruction half.
+//
+//	x: (N, Cin, H, W)   w: (Cin, Cout, KH, KW)   b: (Cout) or nil
+//	out: (N, Cout, OH, OW) with OH = (H-1)*stride - 2*pad + KH
+//
+// The forward pass uses the gather ("refactored") formulation from §4.2.1
+// of the paper: each output element collects the input elements that map
+// onto it, so there are no write conflicts and the loop parallelizes over
+// (batch, output-channel) pairs. The scatter ("baseline") formulation
+// lives in internal/kernels for the Table 7 ablation.
+func ConvTranspose2D(x, w, b *Value, cfg Conv2DConfig) *Value {
+	if x.T.Rank() != 4 || w.T.Rank() != 4 {
+		panic(fmt.Sprintf("ag: ConvTranspose2D wants rank-4 x and w, got %v and %v", x.T.Shape, w.T.Shape))
+	}
+	n, cin, h, wd := x.T.Shape[0], x.T.Shape[1], x.T.Shape[2], x.T.Shape[3]
+	wcin, cout, kh, kw := w.T.Shape[0], w.T.Shape[1], w.T.Shape[2], w.T.Shape[3]
+	if cin != wcin {
+		panic(fmt.Sprintf("ag: ConvTranspose2D channel mismatch: x has %d, w expects %d", cin, wcin))
+	}
+	if b != nil && (b.T.Rank() != 1 || b.T.Shape[0] != cout) {
+		panic(fmt.Sprintf("ag: ConvTranspose2D bias shape %v, want (%d)", b.T.Shape, cout))
+	}
+	s, p := cfg.Stride, cfg.Padding
+	if s <= 0 {
+		panic("ag: ConvTranspose2D stride must be positive")
+	}
+	oh := (h-1)*s - 2*p + kh
+	ow := (wd-1)*s - 2*p + kw
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("ag: ConvTranspose2D output would be %dx%d", oh, ow))
+	}
+	out := tensor.New(n, cout, oh, ow)
+
+	xd, wdta, od := x.T.Data, w.T.Data, out.Data
+	parallel.ForEach(n*cout, 0, func(idx int) {
+		ni, co := idx/cout, idx%cout
+		var bias float32
+		if b != nil {
+			bias = b.T.Data[co]
+		}
+		obase := (ni*cout + co) * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				acc := bias
+				// Output (oy,ox) receives x[iy,ix]*w[ky,kx] whenever
+				// oy = iy*s - p + ky, i.e. iy = (oy + p - ky)/s exactly.
+				for ky := 0; ky < kh; ky++ {
+					iyNum := oy + p - ky
+					if iyNum < 0 || iyNum%s != 0 {
+						continue
+					}
+					iy := iyNum / s
+					if iy >= h {
+						continue
+					}
+					for kx := 0; kx < kw; kx++ {
+						ixNum := ox + p - kx
+						if ixNum < 0 || ixNum%s != 0 {
+							continue
+						}
+						ix := ixNum / s
+						if ix >= wd {
+							continue
+						}
+						for ci := 0; ci < cin; ci++ {
+							acc += xd[((ni*cin+ci)*h+iy)*wd+ix] *
+								wdta[((ci*cout+co)*kh+ky)*kw+kx]
+						}
+					}
+				}
+				od[obase+oy*ow+ox] = acc
+			}
+		}
+	})
+
+	parents := []*Value{x, w}
+	if b != nil {
+		parents = append(parents, b)
+	}
+	var node *Value
+	node = newNode("convtranspose2d", out, func() {
+		gy := node.Grad.Data
+		if x.needGrad {
+			// dX is a strided cross-correlation of dY with w: input cell
+			// (iy,ix) contributed to outputs (iy*s - p + ky, ...).
+			gx := x.ensureGrad().Data
+			parallel.ForEach(n*cin, 0, func(idx int) {
+				ni, ci := idx/cin, idx%cin
+				xbase := (ni*cin + ci) * h * wd
+				for iy := 0; iy < h; iy++ {
+					for ix := 0; ix < wd; ix++ {
+						var acc float32
+						for ky := 0; ky < kh; ky++ {
+							oy := iy*s - p + ky
+							if oy < 0 || oy >= oh {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								ox := ix*s - p + kx
+								if ox < 0 || ox >= ow {
+									continue
+								}
+								for co := 0; co < cout; co++ {
+									acc += gy[((ni*cout+co)*oh+oy)*ow+ox] *
+										wdta[((ci*cout+co)*kh+ky)*kw+kx]
+								}
+							}
+						}
+						gx[xbase+iy*wd+ix] += acc
+					}
+				}
+			})
+		}
+		if w.needGrad {
+			gw := w.ensureGrad().Data
+			parallel.ForEach(cin*cout, 0, func(idx int) {
+				ci, co := idx/cout, idx%cout
+				for ky := 0; ky < kh; ky++ {
+					for kx := 0; kx < kw; kx++ {
+						var acc float32
+						for ni := 0; ni < n; ni++ {
+							xbase := (ni*cin + ci) * h * wd
+							ybase := (ni*cout + co) * oh * ow
+							for iy := 0; iy < h; iy++ {
+								oy := iy*s - p + ky
+								if oy < 0 || oy >= oh {
+									continue
+								}
+								for ix := 0; ix < wd; ix++ {
+									ox := ix*s - p + kx
+									if ox < 0 || ox >= ow {
+										continue
+									}
+									acc += xd[xbase+iy*wd+ix] * gy[ybase+oy*ow+ox]
+								}
+							}
+						}
+						gw[((ci*cout+co)*kh+ky)*kw+kx] += acc
+					}
+				}
+			})
+		}
+		if b != nil && b.needGrad {
+			gb := b.ensureGrad().Data
+			for ni := 0; ni < n; ni++ {
+				for co := 0; co < cout; co++ {
+					base := (ni*cout + co) * oh * ow
+					var acc float32
+					for i := 0; i < oh*ow; i++ {
+						acc += gy[base+i]
+					}
+					gb[co] += acc
+				}
+			}
+		}
+	}, parents...)
+	return node
+}

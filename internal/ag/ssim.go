@@ -1,0 +1,159 @@
+package ag
+
+import (
+	"fmt"
+	"math"
+
+	"computecovid19/internal/tensor"
+)
+
+// SSIMConfig parameterizes the structural-similarity computation.
+type SSIMConfig struct {
+	// WindowSize is the side of the Gaussian window (odd; default 11).
+	WindowSize int
+	// Sigma is the Gaussian window's standard deviation (default 1.5).
+	Sigma float64
+	// L is the dynamic range of the images (1 for [0,1] data, as DDnet
+	// uses after HU normalization).
+	L float64
+	// K1, K2 are the standard SSIM stabilization constants.
+	K1, K2 float64
+}
+
+// DefaultSSIM returns the canonical Wang et al. configuration for images
+// normalized to [0, 1].
+func DefaultSSIM() SSIMConfig {
+	return SSIMConfig{WindowSize: 11, Sigma: 1.5, L: 1, K1: 0.01, K2: 0.03}
+}
+
+// MSSSIMWeights are the canonical five per-scale exponents from
+// Wang, Simoncelli & Bovik (2003), cited by the paper as [42].
+var MSSSIMWeights = []float64{0.0448, 0.2856, 0.3001, 0.2363, 0.1333}
+
+// GaussianWindow returns a normalized 2D Gaussian kernel.
+func GaussianWindow(size int, sigma float64) *tensor.Tensor {
+	if size < 1 || size%2 == 0 {
+		panic(fmt.Sprintf("ag: Gaussian window size must be odd and positive, got %d", size))
+	}
+	k := tensor.New(size, size)
+	c := float64(size / 2)
+	sum := 0.0
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			dy, dx := float64(y)-c, float64(x)-c
+			v := math.Exp(-(dx*dx + dy*dy) / (2 * sigma * sigma))
+			k.Data[y*size+x] = float32(v)
+			sum += v
+		}
+	}
+	k.ScaleInPlace(float32(1 / sum))
+	return k
+}
+
+// ssimComponents computes the mean luminance term and the mean
+// contrast-structure term of SSIM between x and y (both rank-4 NCHW).
+// Both returned Values are scalars on the tape, so gradients flow to x
+// and y.
+func ssimComponents(x, y *Value, win *tensor.Tensor, cfg SSIMConfig) (lum, cs *Value) {
+	c1 := float32(cfg.K1 * cfg.L * cfg.K1 * cfg.L)
+	c2 := float32(cfg.K2 * cfg.L * cfg.K2 * cfg.L)
+
+	// Valid (unpadded) windows, as in the reference SSIM implementation.
+	muX := Blur2D(x, win, 0)
+	muY := Blur2D(y, win, 0)
+	muXX := Mul(muX, muX)
+	muYY := Mul(muY, muY)
+	muXY := Mul(muX, muY)
+
+	sigXX := Sub(Blur2D(Mul(x, x), win, 0), muXX)
+	sigYY := Sub(Blur2D(Mul(y, y), win, 0), muYY)
+	sigXY := Sub(Blur2D(Mul(x, y), win, 0), muXY)
+
+	lumMap := Div(AddConst(MulConst(muXY, 2), c1), AddConst(Add(muXX, muYY), c1))
+	csMap := Div(AddConst(MulConst(sigXY, 2), c2), AddConst(Add(sigXX, sigYY), c2))
+	return Mean(lumMap), Mean(csMap)
+}
+
+// SSIM returns the mean structural similarity index between x and y as a
+// differentiable scalar in [-1, 1] (≈1 for identical images).
+func SSIM(x, y *Value, cfg SSIMConfig) *Value {
+	win := GaussianWindow(cfg.WindowSize, cfg.Sigma)
+	lum, cs := ssimComponents(x, y, win, cfg)
+	return Mul(lum, cs)
+}
+
+// MaxMSSSIMScales reports how many MS-SSIM scales fit an H×W image with
+// the given window size: each scale halves the spatial dimensions and
+// the window must still fit.
+func MaxMSSSIMScales(h, w, window int) int {
+	scales := 0
+	for h >= window && w >= window && scales < len(MSSSIMWeights) {
+		scales++
+		h /= 2
+		w /= 2
+	}
+	return scales
+}
+
+// MSSSIM returns the multi-scale structural similarity index
+// (Wang et al. 2003) between x and y as a differentiable scalar:
+//
+//	MS-SSIM = lum_M^{w_M} · Π_{j=1..M} cs_j^{w_j}
+//
+// with avg-pool ×2 between scales. scales must be between 1 and 5; use
+// MaxMSSSIMScales to respect small images. Per-scale contrast terms are
+// clamped to a tiny positive floor before exponentiation so fractional
+// powers stay defined early in training.
+func MSSSIM(x, y *Value, cfg SSIMConfig, scales int) *Value {
+	if scales < 1 || scales > len(MSSSIMWeights) {
+		panic(fmt.Sprintf("ag: MSSSIM scales must be in [1, %d], got %d", len(MSSSIMWeights), scales))
+	}
+	win := GaussianWindow(cfg.WindowSize, cfg.Sigma)
+
+	// Renormalize the weights when using fewer than 5 scales so the
+	// exponents still sum to 1.
+	wsum := 0.0
+	for _, w := range MSSSIMWeights[:scales] {
+		wsum += w
+	}
+
+	var result *Value
+	cx, cy := x, y
+	for s := 0; s < scales; s++ {
+		lum, cs := ssimComponents(cx, cy, win, cfg)
+		var term *Value
+		if s == scales-1 {
+			term = Mul(Clamp(lum, 1e-6, 2), Clamp(cs, 1e-6, 2))
+		} else {
+			term = Clamp(cs, 1e-6, 2)
+		}
+		term = PowConst(term, float32(MSSSIMWeights[s]/wsum))
+		if result == nil {
+			result = term
+		} else {
+			result = Mul(result, term)
+		}
+		if s != scales-1 {
+			cx = AvgPool2D(cx, Pool2DConfig{Kernel: 2, Stride: 2})
+			cy = AvgPool2D(cy, Pool2DConfig{Kernel: 2, Stride: 2})
+		}
+	}
+	return result
+}
+
+// CompositeEnhancementLoss is DDnet's training objective (Equation 1):
+//
+//	L = MSE(y, f(x)) + 0.1 · (1 − MS-SSIM(y, f(x)))
+//
+// scales is clamped to what the image size supports.
+func CompositeEnhancementLoss(pred, target *Value, cfg SSIMConfig) *Value {
+	h, w := pred.T.Shape[2], pred.T.Shape[3]
+	scales := MaxMSSSIMScales(h, w, cfg.WindowSize)
+	if scales < 1 {
+		// Image smaller than the SSIM window: fall back to pure MSE.
+		return MSELoss(pred, target)
+	}
+	mse := MSELoss(pred, target)
+	ms := MSSSIM(pred, target, cfg, scales)
+	return Add(mse, MulConst(AddConst(Neg(ms), 1), 0.1))
+}

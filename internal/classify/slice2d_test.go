@@ -1,0 +1,77 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"computecovid19/internal/metrics"
+	"computecovid19/internal/volume"
+)
+
+// blobVolume2D builds a normalized toy volume; positives have a bright
+// blob on a couple of slices only (the weak-label difficulty).
+func blobVolume2D(rng *rand.Rand, positive bool) *volume.Volume {
+	v := volume.New(8, 16, 16)
+	for i := range v.Data {
+		v.Data[i] = 0.2 + 0.04*rng.Float32()
+	}
+	if positive {
+		z0 := rng.Intn(6)
+		for dz := 0; dz < 2; dz++ {
+			cy, cx := 4+rng.Intn(8), 4+rng.Intn(8)
+			for y := 0; y < 16; y++ {
+				for x := 0; x < 16; x++ {
+					d := math.Pow(float64(y-cy), 2)/8 + math.Pow(float64(x-cx), 2)/8
+					if d < 1.5 {
+						v.Data[((z0+dz)*16+y)*16+x] += float32(0.5 * math.Exp(-d))
+					}
+				}
+			}
+		}
+	}
+	return v
+}
+
+func TestSlice2DLearnsWeakLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var vols []*volume.Volume
+	var labels []bool
+	for i := 0; i < 12; i++ {
+		pos := i%2 == 0
+		vols = append(vols, blobVolume2D(rng, pos))
+		labels = append(labels, pos)
+	}
+	s := NewSlice2D(rand.New(rand.NewSource(2)), 8, 0.05)
+	curve := s.TrainWeaklyLabelled(vols, labels, 6, 8, 3e-3, 3)
+	if curve[len(curve)-1] >= curve[0] {
+		t.Fatalf("2D baseline loss did not decrease: %v", curve)
+	}
+
+	var probs []float64
+	var truth []bool
+	for i := 0; i < 12; i++ {
+		pos := i%2 == 0
+		probs = append(probs, s.PredictVolume(blobVolume2D(rng, pos)))
+		truth = append(truth, pos)
+	}
+	if auc := metrics.AUC(probs, truth); auc < 0.7 {
+		t.Fatalf("2D baseline AUC = %v, want > 0.7 on easy blobs", auc)
+	}
+}
+
+func TestSlice2DPredictRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := NewSlice2D(rng, 4, 0.05)
+	p := s.PredictVolume(blobVolume2D(rng, true))
+	if p < 0 || p > 1 {
+		t.Fatalf("probability %v out of range", p)
+	}
+}
+
+func TestSlice2DDefaults(t *testing.T) {
+	s := NewSlice2D(rand.New(rand.NewSource(5)), 0, 0)
+	if len(s.Params()) == 0 {
+		t.Fatal("default-configured baseline has no parameters")
+	}
+}

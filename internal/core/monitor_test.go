@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"computecovid19/internal/classify"
+	"computecovid19/internal/phantom"
+	"computecovid19/internal/volume"
+)
+
+// serialScans renders one patient's anatomy at several timepoints with
+// lesions that grow (or shrink) by the given per-step factor.
+func serialScans(seed int64, size, depth, timepoints int, severity, growth float64) []*volume.Volume {
+	rng := rand.New(rand.NewSource(seed))
+	base := phantom.NewChest(rng, size, depth)
+	base.AddRandomLesions(rng, 3, severity)
+	template := append([]phantom.Lesion(nil), base.Lesions...)
+
+	var scans []*volume.Volume
+	scale := 1.0
+	for tp := 0; tp < timepoints; tp++ {
+		c := *base
+		c.Lesions = make([]phantom.Lesion, len(template))
+		for i, l := range template {
+			l.RX *= scale
+			l.RY *= scale
+			l.RZ *= scale
+			c.Lesions[i] = l
+		}
+		v := volume.New(depth, size, size)
+		for z := 0; z < depth; z++ {
+			copy(v.Slice(z), c.SliceHU(z))
+		}
+		scans = append(scans, v)
+		scale *= growth
+	}
+	return scans
+}
+
+func TestLesionBurdenOrdersSeverity(t *testing.T) {
+	scans := serialScans(1, 48, 6, 3, 0.5, 1.6)
+	rng := rand.New(rand.NewSource(2))
+	cls := classify.New(rng, classify.SmallConfig())
+	p := NewPipeline(nil, cls)
+	var burdens []float64
+	for _, v := range scans {
+		r := p.Diagnose(v)
+		burdens = append(burdens, LesionBurden(r.Enhanced, r.LungMask, DefaultBurdenThresholdHU))
+	}
+	for i := 1; i < len(burdens); i++ {
+		if burdens[i] <= burdens[i-1] {
+			t.Fatalf("growing lesions must raise burden: %v", burdens)
+		}
+	}
+}
+
+func TestLesionBurdenEmptyMask(t *testing.T) {
+	v := volume.New(1, 4, 4)
+	if b := LesionBurden(v, make([]bool, 16), -500); b != 0 {
+		t.Fatalf("burden with empty mask = %v, want 0", b)
+	}
+}
+
+func TestMonitorWorseningPatient(t *testing.T) {
+	scans := serialScans(3, 48, 6, 4, 0.5, 1.5)
+	rng := rand.New(rand.NewSource(4))
+	cls := classify.New(rng, classify.SmallConfig())
+	p := NewPipeline(nil, cls)
+	records := p.Monitor(scans, []int{0, 7, 14, 21})
+	if got := BurdenTrend(records); got != Worsening {
+		t.Fatalf("trend = %v, want worsening (records: %+v)", got, records)
+	}
+	report := MonitorReport(records)
+	if !strings.Contains(report, "worsening") {
+		t.Fatalf("report missing trend:\n%s", report)
+	}
+}
+
+func TestMonitorImprovingPatient(t *testing.T) {
+	scans := serialScans(5, 48, 6, 4, 1.4, 0.6)
+	rng := rand.New(rand.NewSource(6))
+	cls := classify.New(rng, classify.SmallConfig())
+	p := NewPipeline(nil, cls)
+	records := p.Monitor(scans, []int{0, 7, 14, 21})
+	if got := BurdenTrend(records); got != Improving {
+		t.Fatalf("trend = %v, want improving (records: %+v)", got, records)
+	}
+}
+
+func TestBurdenTrendEdgeCases(t *testing.T) {
+	if BurdenTrend(nil) != Stable {
+		t.Fatal("empty series should be stable")
+	}
+	if BurdenTrend([]ScanRecord{{Day: 1, Burden: 0.5}}) != Stable {
+		t.Fatal("single record should be stable")
+	}
+	flat := []ScanRecord{{Day: 0, Burden: 0.10}, {Day: 7, Burden: 0.101}, {Day: 14, Burden: 0.099}}
+	if BurdenTrend(flat) != Stable {
+		t.Fatal("near-flat series should be stable")
+	}
+	sameDay := []ScanRecord{{Day: 3, Burden: 0.1}, {Day: 3, Burden: 0.9}}
+	if BurdenTrend(sameDay) != Stable {
+		t.Fatal("degenerate same-day series should be stable")
+	}
+}
+
+func TestTrendString(t *testing.T) {
+	if Stable.String() != "stable" || Worsening.String() != "worsening" || Improving.String() != "improving" {
+		t.Fatal("trend names wrong")
+	}
+}

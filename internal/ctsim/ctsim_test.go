@@ -1,0 +1,353 @@
+package ctsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHUConversionsRoundTrip(t *testing.T) {
+	for _, hu := range []float64{-1000, -800, -500, 0, 40, 400, 1000} {
+		mu := HUToMu(hu)
+		back := MuToHU(mu)
+		if math.Abs(back-hu) > 1e-9 {
+			t.Fatalf("HU %v -> mu %v -> HU %v", hu, mu, back)
+		}
+	}
+	if HUToMu(0) != MuWater60keV {
+		t.Fatal("water must map to MuWater60keV")
+	}
+	if HUToMu(-1000) != 0 {
+		t.Fatal("air (-1000 HU) must map to zero attenuation")
+	}
+	if HUToMu(-2000) != 0 {
+		t.Fatal("sub-air HU must clamp at zero attenuation")
+	}
+}
+
+func TestNormalizeHU(t *testing.T) {
+	if got := NormalizeHU(0, -1000, 1000); got != 0.5 {
+		t.Fatalf("NormalizeHU(0) = %v, want 0.5", got)
+	}
+	if NormalizeHU(-5000, -1000, 1000) != 0 || NormalizeHU(5000, -1000, 1000) != 1 {
+		t.Fatal("NormalizeHU must clamp")
+	}
+	// Round trip inside the window.
+	f := func(raw uint16) bool {
+		hu := float64(raw)/65535*2000 - 1000
+		v := NormalizeHU(hu, -1000, 1000)
+		return math.Abs(DenormalizeHU(v, -1000, 1000)-hu) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridCenters(t *testing.T) {
+	g := Grid{Size: 4, PixelSize: 2}
+	x, y := g.Center(0, 0)
+	if x != -3 || y != -3 {
+		t.Fatalf("Center(0,0) = (%v,%v), want (-3,-3)", x, y)
+	}
+	x, y = g.Center(3, 3)
+	if x != 3 || y != 3 {
+		t.Fatalf("Center(3,3) = (%v,%v), want (3,3)", x, y)
+	}
+	if g.FOV() != 8 {
+		t.Fatalf("FOV = %v, want 8", g.FOV())
+	}
+}
+
+// Property (Siddon): the traversed lengths of a ray crossing the grid
+// sum to the chord length of the ray inside the grid bounding box.
+func TestSiddonChordLengthProperty(t *testing.T) {
+	g := Grid{Size: 16, PixelSize: 1}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random ray through the interior.
+		ang := rng.Float64() * 2 * math.Pi
+		x0, y0 := 30*math.Cos(ang), 30*math.Sin(ang)
+		x1, y1 := -x0+rng.NormFloat64()*3, -y0+rng.NormFloat64()*3
+		segs := TraceRay(g, x0, y0, x1, y1)
+		total := 0.0
+		for _, s := range segs {
+			if s.Index < 0 || s.Index >= 256 {
+				return false
+			}
+			total += s.Length
+		}
+		// Compute the chord analytically by clipping to the box.
+		chord := clipChord(8, x0, y0, x1, y1)
+		return math.Abs(total-chord) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clipChord returns the length of segment (x0,y0)-(x1,y1) inside the
+// centered square [-half, half]².
+func clipChord(half, x0, y0, x1, y1 float64) float64 {
+	dx, dy := x1-x0, y1-y0
+	aMin, aMax := 0.0, 1.0
+	clip := func(p, d float64) bool {
+		if d == 0 {
+			return p >= -half && p <= half
+		}
+		a1, a2 := (-half-p)/d, (half-p)/d
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		aMin = math.Max(aMin, a1)
+		aMax = math.Min(aMax, a2)
+		return true
+	}
+	if !clip(x0, dx) || !clip(y0, dy) || aMax <= aMin {
+		return 0
+	}
+	return (aMax - aMin) * math.Hypot(dx, dy)
+}
+
+func TestSiddonAxisAlignedRay(t *testing.T) {
+	g := Grid{Size: 8, PixelSize: 1}
+	mu := make([]float32, 64)
+	for i := range mu {
+		mu[i] = 1
+	}
+	// Horizontal ray through row 3 (y = -0.5).
+	got := LineIntegral(g, mu, -10, -0.5, 10, -0.5)
+	if math.Abs(got-8) > 1e-9 {
+		t.Fatalf("horizontal line integral = %v, want 8", got)
+	}
+	// Diagonal corner-to-corner: length = 8√2.
+	got = LineIntegral(g, mu, -5, -5, 5, 5)
+	if math.Abs(got-8*math.Sqrt2) > 1e-6 {
+		t.Fatalf("diagonal line integral = %v, want %v", got, 8*math.Sqrt2)
+	}
+}
+
+func TestSiddonMissesGrid(t *testing.T) {
+	g := Grid{Size: 8, PixelSize: 1}
+	if segs := TraceRay(g, -10, 20, 10, 20); len(segs) != 0 {
+		t.Fatalf("ray outside grid produced %d segments", len(segs))
+	}
+	if segs := TraceRay(g, 0, 0, 0, 0); len(segs) != 0 {
+		t.Fatal("zero-length ray should produce no segments")
+	}
+}
+
+func diskPhantom(g Grid, radius float64, value float32) []float32 {
+	mu := make([]float32, g.Size*g.Size)
+	for r := 0; r < g.Size; r++ {
+		for c := 0; c < g.Size; c++ {
+			x, y := g.Center(r, c)
+			if math.Hypot(x, y) < radius {
+				mu[r*g.Size+c] = value
+			}
+		}
+	}
+	return mu
+}
+
+func TestParallelProjectionOfDisk(t *testing.T) {
+	g := Grid{Size: 64, PixelSize: 4}
+	mu := diskPhantom(g, 80, 0.02)
+	pg := DefaultParallelGeometry(g.FOV(), 128, 16)
+	sino := ForwardProjectParallel(g, mu, pg)
+	// Central ray passes through the disk diameter: ∫ = 2·R·μ = 3.2.
+	center := sino.Det / 2
+	for v := 0; v < sino.Views; v++ {
+		got := (sino.At(v, center-1) + sino.At(v, center)) / 2
+		if math.Abs(got-3.2) > 0.2 {
+			t.Fatalf("view %d central ray integral = %v, want ~3.2", v, got)
+		}
+	}
+}
+
+func TestFBPParallelReconstructsDisk(t *testing.T) {
+	g := Grid{Size: 64, PixelSize: 4}
+	mu := diskPhantom(g, 80, 0.02)
+	pg := DefaultParallelGeometry(g.FOV(), 128, 180)
+	sino := ForwardProjectParallel(g, mu, pg)
+	rec := ReconstructParallel(sino, g, RamLak)
+	// Interior mean must match μ to ~2%.
+	var sum float64
+	var cnt int
+	for r := 0; r < g.Size; r++ {
+		for c := 0; c < g.Size; c++ {
+			x, y := g.Center(r, c)
+			if math.Hypot(x, y) < 60 {
+				sum += float64(rec[r*g.Size+c])
+				cnt++
+			}
+		}
+	}
+	mean := sum / float64(cnt)
+	if math.Abs(mean-0.02) > 0.0004 {
+		t.Fatalf("parallel FBP interior mean = %v, want 0.02 ±2%%", mean)
+	}
+}
+
+func TestFBPFanReconstructsDisk(t *testing.T) {
+	g := Grid{Size: 64, PixelSize: 4}
+	mu := diskPhantom(g, 80, 0.02)
+	fan := PaperFanGeometry(g.FOV())
+	fan.NumDetectors = 256
+	fan.NumViews = 360
+	fan.DetectorSpacing = g.FOV() * 1.5 * (fan.SDD / fan.SOD) / float64(fan.NumDetectors)
+	sino := ForwardProjectFan(g, mu, fan)
+	rec := ReconstructFan(sino, g, fan, RamLak)
+	var sum float64
+	var cnt int
+	for r := 0; r < g.Size; r++ {
+		for c := 0; c < g.Size; c++ {
+			x, y := g.Center(r, c)
+			if math.Hypot(x, y) < 60 {
+				sum += float64(rec[r*g.Size+c])
+				cnt++
+			}
+		}
+	}
+	mean := sum / float64(cnt)
+	if math.Abs(mean-0.02) > 0.0004 {
+		t.Fatalf("fan FBP interior mean = %v, want 0.02 ±2%%", mean)
+	}
+	// Outside the disk must be near zero.
+	if v := math.Abs(float64(rec[0])); v > 0.002 {
+		t.Fatalf("fan FBP corner = %v, want ~0", v)
+	}
+}
+
+func TestSheppLoganFilterSmoothsMore(t *testing.T) {
+	g := Grid{Size: 32, PixelSize: 8}
+	mu := diskPhantom(g, 80, 0.02)
+	pg := DefaultParallelGeometry(g.FOV(), 64, 90)
+	sino := ForwardProjectParallel(g, mu, pg)
+	noisy := ApplyPoissonNoise(sino, 2e4, rand.New(rand.NewSource(1)))
+	recRL := ReconstructParallel(noisy, g, RamLak)
+	recSL := ReconstructParallel(noisy, g, SheppLogan)
+	varOf := func(img []float32) float64 {
+		// variance inside the disk
+		var s, s2 float64
+		var n int
+		for r := 0; r < g.Size; r++ {
+			for c := 0; c < g.Size; c++ {
+				x, y := g.Center(r, c)
+				if math.Hypot(x, y) < 60 {
+					v := float64(img[r*g.Size+c])
+					s += v
+					s2 += v * v
+					n++
+				}
+			}
+		}
+		m := s / float64(n)
+		return s2/float64(n) - m*m
+	}
+	if varOf(recSL) >= varOf(recRL) {
+		t.Fatalf("Shepp-Logan should be smoother: SL var %v, RamLak var %v",
+			varOf(recSL), varOf(recRL))
+	}
+}
+
+func TestPoissonSampleStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, lambda := range []float64{0.5, 4, 25, 100, 1e4} {
+		n := 3000
+		var sum, sum2 float64
+		for i := 0; i < n; i++ {
+			v := PoissonSample(rng, lambda)
+			sum += v
+			sum2 += v * v
+		}
+		mean := sum / float64(n)
+		variance := sum2/float64(n) - mean*mean
+		if math.Abs(mean-lambda) > 5*math.Sqrt(lambda/float64(n))*3+0.05 {
+			t.Fatalf("Poisson(%v) mean = %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda)/lambda > 0.25 {
+			t.Fatalf("Poisson(%v) variance = %v", lambda, variance)
+		}
+	}
+	if PoissonSample(rng, 0) != 0 || PoissonSample(rng, -1) != 0 {
+		t.Fatal("non-positive rate should produce 0")
+	}
+}
+
+func TestPoissonNoiseBiasSmallAtHighDose(t *testing.T) {
+	g := Grid{Size: 32, PixelSize: 8}
+	mu := diskPhantom(g, 80, 0.02)
+	pg := DefaultParallelGeometry(g.FOV(), 64, 8)
+	sino := ForwardProjectParallel(g, mu, pg)
+	noisy := ApplyPoissonNoise(sino, 1e6, rand.New(rand.NewSource(3)))
+	var maxDiff float64
+	for i := range sino.Data {
+		d := math.Abs(noisy.Data[i] - sino.Data[i])
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 0.05 {
+		t.Fatalf("noise at b=1e6 perturbs line integrals by %v, want < 0.05", maxDiff)
+	}
+	if maxDiff == 0 {
+		t.Fatal("noise should perturb the sinogram")
+	}
+}
+
+func TestLowerDoseMeansMoreNoise(t *testing.T) {
+	g := Grid{Size: 32, PixelSize: 8}
+	mu := diskPhantom(g, 80, 0.02)
+	pg := DefaultParallelGeometry(g.FOV(), 64, 8)
+	sino := ForwardProjectParallel(g, mu, pg)
+	noiseAt := func(b float64) float64 {
+		noisy := ApplyPoissonNoise(sino, b, rand.New(rand.NewSource(4)))
+		var s float64
+		for i := range sino.Data {
+			d := noisy.Data[i] - sino.Data[i]
+			s += d * d
+		}
+		return s
+	}
+	full := noiseAt(1e6)
+	quarter := noiseAt(DoseFraction(1e6, 0.25))
+	if quarter <= full {
+		t.Fatalf("quarter dose must be noisier: full %v, quarter %v", full, quarter)
+	}
+}
+
+func TestPaperFanGeometryValues(t *testing.T) {
+	fan := PaperFanGeometry(360)
+	if fan.SOD != 1000 || fan.SDD != 1500 {
+		t.Fatalf("paper geometry SOD/SDD = %v/%v, want 1000/1500", fan.SOD, fan.SDD)
+	}
+	if fan.NumDetectors != 1024 || fan.NumViews != 720 {
+		t.Fatalf("paper geometry detectors/views = %d/%d, want 1024/720", fan.NumDetectors, fan.NumViews)
+	}
+	if err := fan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := fan
+	bad.SDD = 500
+	if bad.Validate() == nil {
+		t.Fatal("SDD < SOD should not validate")
+	}
+}
+
+func TestSinogramAccessors(t *testing.T) {
+	s := NewSinogram(3, 4, 1.5)
+	s.Set(2, 3, 7)
+	if s.At(2, 3) != 7 {
+		t.Fatal("Set/At round trip failed")
+	}
+	row := s.Row(2)
+	if row[3] != 7 {
+		t.Fatal("Row does not alias storage")
+	}
+	c := s.Clone()
+	c.Set(0, 0, 9)
+	if s.At(0, 0) == 9 {
+		t.Fatal("Clone shares storage")
+	}
+}

@@ -1,0 +1,55 @@
+package ctsim
+
+import (
+	"math"
+
+	"computecovid19/internal/parallel"
+)
+
+// ForwardProjectFan computes the fan-beam sinogram of a μ image
+// (row-major, mm⁻¹) on grid g using Siddon ray tracing: one ray per
+// (view, detector) pair from the point source to each detector cell
+// center. Views cover 360° evenly. The work is parallelized over views.
+func ForwardProjectFan(g Grid, mu []float32, fan FanGeometry) *Sinogram {
+	if err := fan.Validate(); err != nil {
+		panic(err)
+	}
+	sino := NewSinogram(fan.NumViews, fan.NumDetectors, fan.DetectorSpacing)
+	parallel.ForEach(fan.NumViews, 0, func(v int) {
+		beta := 2 * math.Pi * float64(v) / float64(fan.NumViews)
+		cb, sb := math.Cos(beta), math.Sin(beta)
+		// Source position and detector frame.
+		sx, sy := fan.SOD*cb, fan.SOD*sb
+		// Detector center sits SDD away from the source through the
+		// isocenter; its axis e is perpendicular to the central ray.
+		dcx, dcy := sx-fan.SDD*cb, sy-fan.SDD*sb
+		ex, ey := -sb, cb
+		row := sino.Row(v)
+		for d := 0; d < fan.NumDetectors; d++ {
+			u := (float64(d) - (float64(fan.NumDetectors)-1)/2) * fan.DetectorSpacing
+			px, py := dcx+u*ex, dcy+u*ey
+			row[d] = LineIntegral(g, mu, sx, sy, px, py)
+		}
+	})
+	return sino
+}
+
+// ForwardProjectParallel computes the parallel-beam sinogram of a μ
+// image with views spread evenly over 180°.
+func ForwardProjectParallel(g Grid, mu []float32, pg ParallelGeometry) *Sinogram {
+	sino := NewSinogram(pg.NumViews, pg.NumDetectors, pg.DetectorSpacing)
+	// Rays must span the whole grid; half the FOV diagonal plus margin.
+	reach := g.FOV()
+	parallel.ForEach(pg.NumViews, 0, func(v int) {
+		theta := math.Pi * float64(v) / float64(pg.NumViews)
+		ct, st := math.Cos(theta), math.Sin(theta)
+		row := sino.Row(v)
+		for d := 0; d < pg.NumDetectors; d++ {
+			t := (float64(d) - (float64(pg.NumDetectors)-1)/2) * pg.DetectorSpacing
+			// Detector axis (ct, st); ray direction (-st, ct).
+			cx, cy := t*ct, t*st
+			row[d] = LineIntegral(g, mu, cx+reach*st, cy-reach*ct, cx-reach*st, cy+reach*ct)
+		}
+	})
+	return sino
+}

@@ -1,0 +1,115 @@
+package ctsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: forward projection is linear in the attenuation image —
+// sino(a + b) == sino(a) + sino(b). Line integrals are sums, so any
+// violation means the ray tracer depends on image content.
+func TestProjectionLinearityProperty(t *testing.T) {
+	g := Grid{Size: 16, PixelSize: 8}
+	fan := PaperFanGeometry(g.FOV())
+	fan.NumViews, fan.NumDetectors = 12, 24
+	fan.DetectorSpacing = g.FOV() * 1.5 * (fan.SDD / fan.SOD) / float64(fan.NumDetectors)
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float32, 256)
+		b := make([]float32, 256)
+		sum := make([]float32, 256)
+		for i := range a {
+			a[i] = rng.Float32() * 0.03
+			b[i] = rng.Float32() * 0.03
+			sum[i] = a[i] + b[i]
+		}
+		sa := ForwardProjectFan(g, a, fan)
+		sb := ForwardProjectFan(g, b, fan)
+		ss := ForwardProjectFan(g, sum, fan)
+		for i := range ss.Data {
+			if math.Abs(ss.Data[i]-(sa.Data[i]+sb.Data[i])) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a centered disk projects identically (up to discretization)
+// in every view — rotational symmetry of the geometry.
+func TestCenteredDiskViewInvariance(t *testing.T) {
+	g := Grid{Size: 64, PixelSize: 4}
+	mu := diskPhantom(g, 80, 0.02)
+	fan := PaperFanGeometry(g.FOV())
+	fan.NumViews, fan.NumDetectors = 24, 128
+	fan.DetectorSpacing = g.FOV() * 1.5 * (fan.SDD / fan.SOD) / float64(fan.NumDetectors)
+	sino := ForwardProjectFan(g, mu, fan)
+	// Compare each view's total attenuation to the first view's.
+	ref := 0.0
+	for d := 0; d < sino.Det; d++ {
+		ref += sino.At(0, d)
+	}
+	for v := 1; v < sino.Views; v++ {
+		total := 0.0
+		for d := 0; d < sino.Det; d++ {
+			total += sino.At(v, d)
+		}
+		if math.Abs(total-ref)/ref > 0.02 {
+			t.Fatalf("view %d total attenuation %.4f deviates from view 0 (%.4f)", v, total, ref)
+		}
+	}
+}
+
+// Property: scaling the dose down can only increase the expected
+// reconstruction error (checked across two seeds to damp noise).
+func TestDoseMonotonicityProperty(t *testing.T) {
+	g := Grid{Size: 32, PixelSize: 8}
+	mu := diskPhantom(g, 80, 0.02)
+	pg := DefaultParallelGeometry(g.FOV(), 64, 30)
+	sino := ForwardProjectParallel(g, mu, pg)
+	errAt := func(b float64) float64 {
+		total := 0.0
+		for seed := int64(0); seed < 2; seed++ {
+			noisy := ApplyPoissonNoise(sino, b, rand.New(rand.NewSource(seed)))
+			rec := ReconstructParallel(noisy, g, RamLak)
+			for i := range rec {
+				d := float64(rec[i] - mu[i])
+				total += d * d
+			}
+		}
+		return total
+	}
+	e6 := errAt(1e6)
+	e4 := errAt(1e4)
+	e3 := errAt(1e3)
+	if !(e6 < e4 && e4 < e3) {
+		t.Fatalf("reconstruction error not monotone in dose: 1e6→%.4g 1e4→%.4g 1e3→%.4g", e6, e4, e3)
+	}
+}
+
+// Property: the sinogram of an empty image is identically zero, and FBP
+// of a zero sinogram is (numerically) zero.
+func TestZeroImageZeroSinogram(t *testing.T) {
+	g := Grid{Size: 16, PixelSize: 8}
+	fan := PaperFanGeometry(g.FOV())
+	fan.NumViews, fan.NumDetectors = 8, 16
+	fan.DetectorSpacing = g.FOV() * 1.5 * (fan.SDD / fan.SOD) / float64(fan.NumDetectors)
+	sino := ForwardProjectFan(g, make([]float32, 256), fan)
+	for i, v := range sino.Data {
+		if v != 0 {
+			t.Fatalf("empty image produced nonzero line integral at %d: %v", i, v)
+		}
+	}
+	rec := ReconstructFan(sino, g, fan, RamLak)
+	for i, v := range rec {
+		if math.Abs(float64(v)) > 1e-9 {
+			t.Fatalf("zero sinogram reconstructed nonzero pixel %d: %v", i, v)
+		}
+	}
+}

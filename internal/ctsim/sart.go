@@ -1,0 +1,165 @@
+package ctsim
+
+import (
+	"math"
+
+	"computecovid19/internal/parallel"
+)
+
+// SART implements the Simultaneous Algebraic Reconstruction Technique,
+// the classical iterative alternative to FBP that the paper's related
+// work (§6.3, reference [3]) positions against deep-learning
+// enhancement. At reduced dose, SART's implicit regularization over
+// many noisy rays typically beats plain Ram-Lak FBP, which makes it the
+// natural classical baseline for DDnet's denoising ablation.
+//
+// The implementation is matched to ForwardProjectFan: rays are traced
+// with the same Siddon kernel, so forward and back projections are exact
+// transposes of one another.
+
+// SARTOptions configures the iteration.
+type SARTOptions struct {
+	// Iterations is the number of full passes over all views.
+	Iterations int
+	// Relax is the relaxation factor λ (0 < λ ≤ 1); 0 defaults to 0.25.
+	Relax float64
+	// NonNegative clamps attenuation at zero after every update, a
+	// physical constraint that accelerates convergence.
+	NonNegative bool
+	// Smooth blends each iterate with its 3×3 neighborhood mean
+	// (0 = pure SART, 0.2–0.4 = regularized). Unregularized SART
+	// converges toward the noisy least-squares solution, so at reduced
+	// dose a smoothness prior — the "R" of clinical iterative
+	// reconstruction — is what beats FBP.
+	Smooth float64
+	// Init is the starting image (nil = zeros). Passing the FBP result
+	// gives "FBP-warm-started SART".
+	Init []float32
+}
+
+// DefaultSART returns a configuration that converges well on chest-like
+// images within ~10 iterations.
+func DefaultSART() SARTOptions {
+	return SARTOptions{Iterations: 10, Relax: 0.25, NonNegative: true}
+}
+
+// ReconstructSARTFan reconstructs a μ image from a fan-beam sinogram by
+// SART: per view, the residual between measured and forward-projected
+// line integrals is back-distributed along each ray, weighted by the
+// intersection lengths and normalized per ray and per pixel.
+func ReconstructSARTFan(s *Sinogram, g Grid, fan FanGeometry, opt SARTOptions) []float32 {
+	if opt.Iterations <= 0 {
+		opt.Iterations = DefaultSART().Iterations
+	}
+	if opt.Relax <= 0 {
+		opt.Relax = DefaultSART().Relax
+	}
+	n := g.Size
+	img := make([]float32, n*n)
+	if opt.Init != nil {
+		copy(img, opt.Init)
+	}
+
+	// Precompute the ray geometry per (view, detector): Siddon segments
+	// are retraced on the fly (caching all segments for 720×1024 rays
+	// would cost gigabytes), but endpoints are precomputed.
+	type ray struct{ sx, sy, px, py float64 }
+	rays := make([]ray, s.Views*s.Det)
+	for v := 0; v < s.Views; v++ {
+		beta := 2 * math.Pi * float64(v) / float64(s.Views)
+		cb, sb := math.Cos(beta), math.Sin(beta)
+		sx, sy := fan.SOD*cb, fan.SOD*sb
+		dcx, dcy := sx-fan.SDD*cb, sy-fan.SDD*sb
+		ex, ey := -sb, cb
+		for d := 0; d < s.Det; d++ {
+			u := (float64(d) - (float64(s.Det)-1)/2) * fan.DetectorSpacing
+			rays[v*s.Det+d] = ray{sx: sx, sy: sy, px: dcx + u*ex, py: dcy + u*ey}
+		}
+	}
+
+	// Per-pixel column sums Σ_i a_ij per view block are recomputed each
+	// sweep; the per-view update is
+	//
+	//	x_j += λ · Σ_i a_ij (b_i − ⟨a_i, x⟩)/Σ_k a_ik  /  Σ_i a_ij
+	numer := make([]float64, n*n)
+	denom := make([]float64, n*n)
+
+	for it := 0; it < opt.Iterations; it++ {
+		for v := 0; v < s.Views; v++ {
+			for j := range numer {
+				numer[j] = 0
+				denom[j] = 0
+			}
+			// Residuals of this view's rays, computed in parallel into
+			// per-ray slots; the scatter accumulation below stays serial
+			// per view to avoid write conflicts on the pixel grid.
+			type contrib struct {
+				segs  []RaySegment
+				scale float64
+			}
+			contribs := make([]contrib, s.Det)
+			parallel.ForEach(s.Det, 0, func(d int) {
+				r := rays[v*s.Det+d]
+				segs := TraceRay(g, r.sx, r.sy, r.px, r.py)
+				if len(segs) == 0 {
+					return
+				}
+				var proj, rowSum float64
+				for _, seg := range segs {
+					proj += float64(img[seg.Index]) * seg.Length
+					rowSum += seg.Length
+				}
+				if rowSum == 0 {
+					return
+				}
+				resid := (s.At(v, d) - proj) / rowSum
+				contribs[d] = contrib{segs: segs, scale: resid}
+			})
+			for d := range contribs {
+				for _, seg := range contribs[d].segs {
+					numer[seg.Index] += seg.Length * contribs[d].scale
+					denom[seg.Index] += seg.Length
+				}
+			}
+			for j := range numer {
+				if denom[j] > 0 {
+					img[j] += float32(opt.Relax * numer[j] / denom[j])
+					if opt.NonNegative && img[j] < 0 {
+						img[j] = 0
+					}
+				}
+			}
+		}
+		if opt.Smooth > 0 {
+			smooth3x3(img, n, float32(opt.Smooth))
+		}
+	}
+	return img
+}
+
+// smooth3x3 blends the image with its 3×3 neighborhood mean in place:
+// x ← (1−s)·x + s·mean₃ₓ₃(x).
+func smooth3x3(img []float32, n int, s float32) {
+	src := append([]float32(nil), img...)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			var sum float32
+			var cnt float32
+			for dr := -1; dr <= 1; dr++ {
+				rr := r + dr
+				if rr < 0 || rr >= n {
+					continue
+				}
+				for dc := -1; dc <= 1; dc++ {
+					cc := c + dc
+					if cc < 0 || cc >= n {
+						continue
+					}
+					sum += src[rr*n+cc]
+					cnt++
+				}
+			}
+			img[r*n+c] = (1-s)*src[r*n+c] + s*sum/cnt
+		}
+	}
+}

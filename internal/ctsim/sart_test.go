@@ -1,0 +1,137 @@
+package ctsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sartTestSetup(size int) (Grid, FanGeometry, []float32) {
+	g := Grid{Size: size, PixelSize: 256.0 / float64(size)}
+	fan := PaperFanGeometry(g.FOV())
+	fan.NumDetectors = 2 * size
+	fan.NumViews = 3 * size
+	fan.DetectorSpacing = g.FOV() * 1.5 * (fan.SDD / fan.SOD) / float64(fan.NumDetectors)
+	mu := diskPhantom(g, 70, 0.02)
+	// Add an off-center feature so the test sees structure, not just DC.
+	for r := 0; r < size; r++ {
+		for c := 0; c < size; c++ {
+			x, y := g.Center(r, c)
+			if math.Hypot(x-30, y-10) < 20 {
+				mu[r*size+c] = 0.028
+			}
+		}
+	}
+	return g, fan, mu
+}
+
+func interiorRMSE(g Grid, rec, truth []float32) float64 {
+	var s float64
+	var n int
+	for r := 0; r < g.Size; r++ {
+		for c := 0; c < g.Size; c++ {
+			x, y := g.Center(r, c)
+			if math.Hypot(x, y) < 60 {
+				d := float64(rec[r*g.Size+c] - truth[r*g.Size+c])
+				s += d * d
+				n++
+			}
+		}
+	}
+	return math.Sqrt(s / float64(n))
+}
+
+func TestSARTReconstructsCleanData(t *testing.T) {
+	g, fan, mu := sartTestSetup(32)
+	sino := ForwardProjectFan(g, mu, fan)
+	rec := ReconstructSARTFan(sino, g, fan, DefaultSART())
+	if rmse := interiorRMSE(g, rec, mu); rmse > 0.002 {
+		t.Fatalf("SART interior RMSE = %v, want < 0.002 (10%% of contrast)", rmse)
+	}
+}
+
+func TestSARTConvergesWithIterations(t *testing.T) {
+	g, fan, mu := sartTestSetup(32)
+	sino := ForwardProjectFan(g, mu, fan)
+	opt := DefaultSART()
+	opt.Iterations = 1
+	r1 := interiorRMSE(g, ReconstructSARTFan(sino, g, fan, opt), mu)
+	opt.Iterations = 8
+	r8 := interiorRMSE(g, ReconstructSARTFan(sino, g, fan, opt), mu)
+	if r8 >= r1 {
+		t.Fatalf("more iterations should reduce error: 1 iter %v, 8 iters %v", r1, r8)
+	}
+}
+
+func TestSARTBeatsFBPAtLowDose(t *testing.T) {
+	// The classical claim this module exists to demonstrate: at heavy
+	// dose reduction, iterative reconstruction denoises better than
+	// Ram-Lak FBP.
+	g, fan, mu := sartTestSetup(32)
+	sino := ForwardProjectFan(g, mu, fan)
+	noisy := ApplyPoissonNoise(sino, 300, rand.New(rand.NewSource(1)))
+
+	fbp := ReconstructFan(noisy, g, fan, RamLak)
+	opt := DefaultSART()
+	opt.Smooth = 0.35 // regularized iterative reconstruction
+	sart := ReconstructSARTFan(noisy, g, fan, opt)
+
+	fbpErr := interiorRMSE(g, fbp, mu)
+	sartErr := interiorRMSE(g, sart, mu)
+	if sartErr >= fbpErr {
+		t.Fatalf("regularized SART (%v) should beat FBP (%v) at low dose", sartErr, fbpErr)
+	}
+
+	// Without the prior, SART converges toward the noisy least-squares
+	// solution and loses — the regularization is load-bearing.
+	pure := ReconstructSARTFan(noisy, g, fan, DefaultSART())
+	if pureErr := interiorRMSE(g, pure, mu); pureErr <= sartErr {
+		t.Fatalf("unregularized SART (%v) should be worse than regularized (%v) at low dose",
+			pureErr, sartErr)
+	}
+}
+
+func TestSARTWarmStartFromFBP(t *testing.T) {
+	g, fan, mu := sartTestSetup(32)
+	sino := ForwardProjectFan(g, mu, fan)
+	fbp := ReconstructFan(sino, g, fan, RamLak)
+
+	opt := DefaultSART()
+	opt.Iterations = 2
+	cold := interiorRMSE(g, ReconstructSARTFan(sino, g, fan, opt), mu)
+	opt.Init = fbp
+	warm := interiorRMSE(g, ReconstructSARTFan(sino, g, fan, opt), mu)
+	if warm > cold {
+		t.Fatalf("FBP warm start should not hurt after 2 iters: warm %v vs cold %v", warm, cold)
+	}
+}
+
+func TestSARTNonNegativity(t *testing.T) {
+	g, fan, mu := sartTestSetup(24)
+	sino := ForwardProjectFan(g, mu, fan)
+	noisy := ApplyPoissonNoise(sino, 1e3, rand.New(rand.NewSource(2)))
+	rec := ReconstructSARTFan(noisy, g, fan, DefaultSART())
+	for i, v := range rec {
+		if v < 0 {
+			t.Fatalf("pixel %d negative (%v) despite non-negativity constraint", i, v)
+		}
+	}
+}
+
+func TestSARTDefaultsApplied(t *testing.T) {
+	g, fan, mu := sartTestSetup(16)
+	sino := ForwardProjectFan(g, mu, fan)
+	// Zero-valued options must fall back to defaults rather than loop
+	// zero times.
+	rec := ReconstructSARTFan(sino, g, fan, SARTOptions{})
+	nonzero := false
+	for _, v := range rec {
+		if v != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Fatal("SART with zero options produced an empty image")
+	}
+}

@@ -1,0 +1,223 @@
+// Package dataset builds the synthetic training and evaluation corpora
+// that substitute for the paper's clinical data sources (Table 1): pairs
+// of clean/low-dose CT slices for Enhancement AI (the paper's simulated
+// BIMCV low-dose set, §3.1.2) and labelled 3D cohorts for Segmentation +
+// Classification AI (§3.3.2). Everything is deterministic in the seed.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"computecovid19/internal/ctsim"
+	"computecovid19/internal/phantom"
+	"computecovid19/internal/tensor"
+	"computecovid19/internal/volume"
+)
+
+// EnhancementPair is one training sample for DDnet: the target image Y
+// (normal-dose) and the degraded input X (low-dose FBP reconstruction),
+// both normalized to [0, 1].
+type EnhancementPair struct {
+	Clean, LowDose *tensor.Tensor // rank-2 (H, W)
+	// HasLesions records whether the underlying phantom was COVID-like.
+	HasLesions bool
+}
+
+// EnhancementConfig parameterizes pair generation.
+type EnhancementConfig struct {
+	// Size is the square image size in pixels.
+	Size int
+	// Count is the number of pairs.
+	Count int
+	// Views and Detectors set the simulated acquisition resolution;
+	// scale them with Size (the paper's full-scale values are 720/1024).
+	Views, Detectors int
+	// PhotonsPerRay is the blank-scan factor b_i (paper: 1e6); the
+	// low-dose image additionally divides this by DoseDivisor.
+	PhotonsPerRay float64
+	// DoseDivisor is the dose reduction of the degraded image (4 =
+	// quarter dose, as in the Mayo data).
+	DoseDivisor float64
+	// LesionFraction is the fraction of phantoms given COVID lesions.
+	LesionFraction float64
+	// Seed makes the dataset reproducible.
+	Seed int64
+}
+
+// DefaultEnhancementConfig returns a laptop-scale configuration: 64 px
+// slices with a correspondingly scaled fan-beam acquisition.
+func DefaultEnhancementConfig() EnhancementConfig {
+	return EnhancementConfig{
+		Size: 64, Count: 16, Views: 180, Detectors: 128,
+		PhotonsPerRay: 1e6, DoseDivisor: 16, LesionFraction: 0.5, Seed: 1,
+	}
+}
+
+// BuildEnhancement generates Count clean/low-dose pairs: each clean
+// slice is a chest phantom rendered in HU and normalized; the low-dose
+// twin goes through the full physics chain — fan-beam Siddon projection,
+// Beer's-law Poisson noise at the reduced dose, and FBP reconstruction —
+// exactly the paper's §3.1.2 procedure.
+func BuildEnhancement(cfg EnhancementConfig) []EnhancementPair {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	grid := ctsim.Grid{Size: cfg.Size, PixelSize: 360.0 / float64(cfg.Size)}
+	fan := ctsim.PaperFanGeometry(grid.FOV())
+	fan.NumViews = cfg.Views
+	fan.NumDetectors = cfg.Detectors
+	fan.DetectorSpacing = grid.FOV() * 1.5 * (fan.SDD / fan.SOD) / float64(cfg.Detectors)
+
+	pairs := make([]EnhancementPair, 0, cfg.Count)
+	for i := 0; i < cfg.Count; i++ {
+		chest := phantom.NewChest(rng, cfg.Size, 1)
+		lesioned := rng.Float64() < cfg.LesionFraction
+		if lesioned {
+			chest.AddRandomLesions(rng, 1+rng.Intn(3), 0.6+0.4*rng.Float64())
+		}
+		hu := chest.SliceHU(0)
+
+		mu := ctsim.HUImageToMu(hu)
+		sino := ctsim.ForwardProjectFan(grid, mu, fan)
+		noisy := ctsim.ApplyPoissonNoise(sino, cfg.PhotonsPerRay/cfg.DoseDivisor, rng)
+		recMu := ctsim.ReconstructFan(noisy, grid, fan, ctsim.RamLak)
+		recHU := ctsim.MuImageToHU(recMu)
+
+		clean := tensor.New(cfg.Size, cfg.Size)
+		low := tensor.New(cfg.Size, cfg.Size)
+		for j := range hu {
+			clean.Data[j] = float32(ctsim.NormalizeHU(float64(hu[j]), ctsim.FullWindowLo, ctsim.FullWindowHi))
+			low.Data[j] = float32(ctsim.NormalizeHU(float64(recHU[j]), ctsim.FullWindowLo, ctsim.FullWindowHi))
+		}
+		pairs = append(pairs, EnhancementPair{Clean: clean, LowDose: low, HasLesions: lesioned})
+	}
+	return pairs
+}
+
+// Case is one labelled 3D scan of a classification cohort.
+type Case struct {
+	Volume *volume.Volume // HU (degraded when the config says LowDose)
+	// Clean is the pre-degradation HU volume (equal to Volume when no
+	// degradation was applied); the accuracy experiments train the
+	// classifier on clean scans and test on degraded ones.
+	Clean *volume.Volume
+	Label bool // true = COVID-positive
+	// Truth is the generative lung mask, for segmentation scoring.
+	Truth []bool
+}
+
+// CohortConfig parameterizes cohort generation.
+type CohortConfig struct {
+	Size, Depth int
+	Count       int
+	// PositiveFraction is the fraction of COVID-positive cases.
+	PositiveFraction float64
+	// Severity scales lesion size for positives.
+	Severity float64
+	// LowDose, when true, degrades every slice through the CT physics
+	// chain (slow); false renders clean HU volumes.
+	LowDose bool
+	// Views/Detectors/PhotonsPerRay configure the degradation.
+	Views, Detectors int
+	PhotonsPerRay    float64
+	Seed             int64
+}
+
+// DefaultCohortConfig returns a laptop-scale cohort configuration.
+func DefaultCohortConfig() CohortConfig {
+	return CohortConfig{
+		Size: 32, Depth: 8, Count: 20, PositiveFraction: 0.5,
+		Severity: 0.9, Views: 120, Detectors: 64, PhotonsPerRay: 5e4, Seed: 2,
+	}
+}
+
+// BuildCohort generates Count labelled volumes with the configured
+// positive fraction (positives carry 2–4 random lesions).
+func BuildCohort(cfg CohortConfig) []Case {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var grid ctsim.Grid
+	var fan ctsim.FanGeometry
+	if cfg.LowDose {
+		grid = ctsim.Grid{Size: cfg.Size, PixelSize: 360.0 / float64(cfg.Size)}
+		fan = ctsim.PaperFanGeometry(grid.FOV())
+		fan.NumViews = cfg.Views
+		fan.NumDetectors = cfg.Detectors
+		fan.DetectorSpacing = grid.FOV() * 1.5 * (fan.SDD / fan.SOD) / float64(cfg.Detectors)
+	}
+
+	nPos := int(float64(cfg.Count)*cfg.PositiveFraction + 0.5)
+	cases := make([]Case, 0, cfg.Count)
+	for i := 0; i < cfg.Count; i++ {
+		positive := i < nPos
+		chest := phantom.NewChest(rng, cfg.Size, cfg.Depth)
+		if positive {
+			chest.AddRandomLesions(rng, 2+rng.Intn(3), cfg.Severity)
+		}
+		v := volume.New(cfg.Depth, cfg.Size, cfg.Size)
+		clean := volume.New(cfg.Depth, cfg.Size, cfg.Size)
+		truth := make([]bool, cfg.Depth*cfg.Size*cfg.Size)
+		for z := 0; z < cfg.Depth; z++ {
+			hu := chest.SliceHU(z)
+			copy(clean.Slice(z), hu)
+			if cfg.LowDose {
+				mu := ctsim.HUImageToMu(hu)
+				sino := ctsim.ForwardProjectFan(grid, mu, fan)
+				noisy := ctsim.ApplyPoissonNoise(sino, cfg.PhotonsPerRay, rng)
+				hu = ctsim.MuImageToHU(ctsim.ReconstructFan(noisy, grid, fan, ctsim.RamLak))
+			}
+			copy(v.Slice(z), hu)
+			copy(truth[z*cfg.Size*cfg.Size:(z+1)*cfg.Size*cfg.Size], chest.LungMask(z))
+		}
+		if !cfg.LowDose {
+			clean = v
+		}
+		cases = append(cases, Case{Volume: v, Clean: clean, Label: positive, Truth: truth})
+	}
+	// Deterministic shuffle so positives are not front-loaded.
+	rng.Shuffle(len(cases), func(i, j int) { cases[i], cases[j] = cases[j], cases[i] })
+	return cases
+}
+
+// Split partitions items deterministically into train/val/test by the
+// given fractions (which must sum to <= 1; the remainder goes to test).
+func Split[T any](items []T, trainFrac, valFrac float64) (train, val, test []T) {
+	if trainFrac < 0 || valFrac < 0 || trainFrac+valFrac > 1 {
+		panic(fmt.Sprintf("dataset: bad split fractions %v/%v", trainFrac, valFrac))
+	}
+	nTrain := int(float64(len(items)) * trainFrac)
+	nVal := int(float64(len(items)) * valFrac)
+	return items[:nTrain], items[nTrain : nTrain+nVal], items[nTrain+nVal:]
+}
+
+// Source describes one radiological data source — Table 1 of the paper —
+// and the synthetic substitute this repository uses in its place.
+type Source struct {
+	Name       string
+	Contents   string
+	Substitute string
+}
+
+// PaperSources returns the paper's Table 1 plus our substitution notes.
+func PaperSources() []Source {
+	return []Source{
+		{
+			Name:       "Mayo Clinic",
+			Contents:   "Eight (8) healthy chest CT scans & assoc. projection data at full & quarter dosage",
+			Substitute: "healthy phantoms + simulated full/quarter-dose fan-beam projections",
+		},
+		{
+			Name:       "Medical Imaging Databank of the Valencia Region (BIMCV)",
+			Contents:   "X-ray scans & CT scans of 34 COVID-19 patients",
+			Substitute: "lesioned phantoms + simulated low-dose reconstructions",
+		},
+		{
+			Name:       "Medical Imaging and Data Resource Center (MIDRC)",
+			Contents:   "229 CT scans of COVID-19 patients",
+			Substitute: "lesioned 3D phantom cohort (positive labels)",
+		},
+		{
+			Name:       "Lung Image Database Consortium Image Collection (LIDC)",
+			Contents:   "1301 healthy chest CT scans",
+			Substitute: "healthy 3D phantom cohort (negative labels)",
+		},
+	}
+}

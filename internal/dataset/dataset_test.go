@@ -1,0 +1,163 @@
+package dataset
+
+import (
+	"testing"
+
+	"computecovid19/internal/metrics"
+)
+
+func TestBuildEnhancementPairs(t *testing.T) {
+	cfg := DefaultEnhancementConfig()
+	cfg.Count = 4
+	cfg.Size = 32
+	cfg.Views = 90
+	cfg.Detectors = 64
+	pairs := BuildEnhancement(cfg)
+	if len(pairs) != 4 {
+		t.Fatalf("got %d pairs, want 4", len(pairs))
+	}
+	for i, p := range pairs {
+		if p.Clean.Rank() != 2 || p.Clean.Shape[0] != 32 {
+			t.Fatalf("pair %d clean shape %v", i, p.Clean.Shape)
+		}
+		if p.Clean.Min() < 0 || p.Clean.Max() > 1 || p.LowDose.Min() < 0 || p.LowDose.Max() > 1 {
+			t.Fatalf("pair %d not normalized to [0,1]", i)
+		}
+		// Low-dose must differ from clean (noise + reconstruction), but
+		// still correlate strongly (same anatomy).
+		mse := metrics.MSE(p.Clean, p.LowDose)
+		if mse == 0 {
+			t.Fatalf("pair %d low-dose identical to clean", i)
+		}
+		if mse > 0.05 {
+			t.Fatalf("pair %d low-dose unrecognizable: MSE %v", i, mse)
+		}
+	}
+}
+
+func TestBuildEnhancementDeterministic(t *testing.T) {
+	cfg := DefaultEnhancementConfig()
+	cfg.Count = 2
+	cfg.Size = 32
+	cfg.Views = 60
+	cfg.Detectors = 48
+	a := BuildEnhancement(cfg)
+	b := BuildEnhancement(cfg)
+	for i := range a {
+		if !a[i].Clean.AllClose(b[i].Clean, 0) || !a[i].LowDose.AllClose(b[i].LowDose, 0) {
+			t.Fatalf("pair %d not deterministic", i)
+		}
+	}
+}
+
+func TestLowerDoseNoisier(t *testing.T) {
+	cfg := DefaultEnhancementConfig()
+	cfg.Count = 3
+	cfg.Size = 32
+	cfg.Views = 90
+	cfg.Detectors = 64
+	cfg.LesionFraction = 0
+	cfg.DoseDivisor = 1
+	high := BuildEnhancement(cfg)
+	cfg.DoseDivisor = 64
+	low := BuildEnhancement(cfg)
+	var mseHigh, mseLow float64
+	for i := range high {
+		mseHigh += metrics.MSE(high[i].Clean, high[i].LowDose)
+		mseLow += metrics.MSE(low[i].Clean, low[i].LowDose)
+	}
+	if mseLow <= mseHigh {
+		t.Fatalf("1/64 dose should be noisier: high %v, low %v", mseHigh, mseLow)
+	}
+}
+
+func TestBuildCohortLabels(t *testing.T) {
+	cfg := DefaultCohortConfig()
+	cfg.Count = 10
+	cfg.Size = 32
+	cfg.Depth = 4
+	cases := BuildCohort(cfg)
+	if len(cases) != 10 {
+		t.Fatalf("got %d cases, want 10", len(cases))
+	}
+	pos := 0
+	for _, c := range cases {
+		if c.Label {
+			pos++
+		}
+		if c.Volume.D != 4 || c.Volume.H != 32 {
+			t.Fatalf("case volume shape %dx%dx%d", c.Volume.D, c.Volume.H, c.Volume.W)
+		}
+		if len(c.Truth) != 4*32*32 {
+			t.Fatalf("truth mask length %d", len(c.Truth))
+		}
+	}
+	if pos != 5 {
+		t.Fatalf("positives = %d, want 5", pos)
+	}
+}
+
+func TestCohortPositivesDenserLungs(t *testing.T) {
+	cfg := DefaultCohortConfig()
+	cfg.Count = 12
+	cfg.Size = 48
+	cfg.Depth = 6
+	cfg.Severity = 1.0
+	cases := BuildCohort(cfg)
+	meanLung := func(c Case) float64 {
+		var s float64
+		var n int
+		for i, in := range c.Truth {
+			if in {
+				s += float64(c.Volume.Data[i])
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	var posMean, negMean float64
+	var nPos, nNeg int
+	for _, c := range cases {
+		if c.Label {
+			posMean += meanLung(c)
+			nPos++
+		} else {
+			negMean += meanLung(c)
+			nNeg++
+		}
+	}
+	posMean /= float64(nPos)
+	negMean /= float64(nNeg)
+	if posMean <= negMean+20 {
+		t.Fatalf("positive lungs should be denser: pos %v HU, neg %v HU", posMean, negMean)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	items := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	train, val, test := Split(items, 0.6, 0.2)
+	if len(train) != 6 || len(val) != 2 || len(test) != 2 {
+		t.Fatalf("split sizes %d/%d/%d", len(train), len(val), len(test))
+	}
+	if train[0] != 1 || test[1] != 10 {
+		t.Fatal("split not order-preserving")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad fractions")
+		}
+	}()
+	Split(items, 0.8, 0.5)
+}
+
+func TestPaperSources(t *testing.T) {
+	srcs := PaperSources()
+	if len(srcs) != 4 {
+		t.Fatalf("Table 1 has 4 sources, got %d", len(srcs))
+	}
+	for _, s := range srcs {
+		if s.Name == "" || s.Contents == "" || s.Substitute == "" {
+			t.Fatalf("incomplete source entry: %+v", s)
+		}
+	}
+}

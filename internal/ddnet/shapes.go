@@ -1,0 +1,100 @@
+package ddnet
+
+import "fmt"
+
+// LayerKind tags a row of the architecture table.
+type LayerKind int
+
+// Layer kinds appearing in DDnet's Table 2 trace.
+const (
+	KindConv LayerKind = iota
+	KindPool
+	KindDenseBlock
+	KindUnpool
+	KindDeconv
+)
+
+// String names the layer kind as the paper's Table 2 does.
+func (k LayerKind) String() string {
+	switch k {
+	case KindConv:
+		return "Convolution"
+	case KindPool:
+		return "Pooling"
+	case KindDenseBlock:
+		return "Dense Block"
+	case KindUnpool:
+		return "Un-pooling"
+	case KindDeconv:
+		return "Deconvolution"
+	default:
+		return "Unknown"
+	}
+}
+
+// LayerShape is one row of the DDnet architecture trace: the layer and
+// its output extent, mirroring Table 2 of the paper.
+type LayerShape struct {
+	Kind     LayerKind
+	Name     string
+	OutC     int // output channels
+	OutH     int
+	OutW     int
+	Kernel   int // filter size (0 where not applicable)
+	Stride   int
+	InC      int // input channels
+	ScaleFac int // un-pooling scale factor (0 otherwise)
+}
+
+// Details renders the paper's "Details" column.
+func (l LayerShape) Details() string {
+	switch l.Kind {
+	case KindUnpool:
+		return fmt.Sprintf("scale factor=%d", l.ScaleFac)
+	case KindDenseBlock:
+		return fmt.Sprintf("filter size=[1x1; %dx%d] x layers, stride=%d", l.Kernel, l.Kernel, l.Stride)
+	default:
+		return fmt.Sprintf("filter size=%dx%d, stride=%d", l.Kernel, l.Kernel, l.Stride)
+	}
+}
+
+// LayerShapes traces the network layer by layer for a square input of
+// the given size, reproducing Table 2 for the paper configuration at
+// size 512.
+func (m *DDnet) LayerShapes(size int) []LayerShape {
+	cfg := m.Cfg
+	f := cfg.BaseChannels
+	blockOut := f + cfg.DenseLayers*cfg.Growth
+	var rows []LayerShape
+	h := size
+
+	rows = append(rows, LayerShape{Kind: KindConv, Name: "Convolution 1",
+		OutC: f, OutH: h, OutW: h, Kernel: 7, Stride: 1, InC: 1})
+	for s := 0; s < cfg.Stages; s++ {
+		h /= 2
+		rows = append(rows, LayerShape{Kind: KindPool, Name: fmt.Sprintf("Pooling %d", s+1),
+			OutC: f, OutH: h, OutW: h, Kernel: 3, Stride: 2, InC: f})
+		rows = append(rows, LayerShape{Kind: KindDenseBlock, Name: fmt.Sprintf("Dense Block %d", s+1),
+			OutC: blockOut, OutH: h, OutW: h, Kernel: cfg.Kernel, Stride: 1, InC: f})
+		rows = append(rows, LayerShape{Kind: KindConv, Name: fmt.Sprintf("Convolution %d", s+2),
+			OutC: f, OutH: h, OutW: h, Kernel: 1, Stride: 1, InC: blockOut})
+	}
+	for s := 0; s < cfg.Stages; s++ {
+		h *= 2
+		rows = append(rows, LayerShape{Kind: KindUnpool, Name: fmt.Sprintf("Un-pooling %d", s+1),
+			OutC: f, OutH: h, OutW: h, ScaleFac: 2, InC: f})
+		skipCh := blockOut
+		if s == cfg.Stages-1 {
+			skipCh = f
+		}
+		rows = append(rows, LayerShape{Kind: KindDeconv, Name: fmt.Sprintf("Deconvolution %d", 2*s+1),
+			OutC: 2 * f, OutH: h, OutW: h, Kernel: cfg.Kernel, Stride: 1, InC: f + skipCh})
+		outCh := f
+		if s == cfg.Stages-1 {
+			outCh = 1
+		}
+		rows = append(rows, LayerShape{Kind: KindDeconv, Name: fmt.Sprintf("Deconvolution %d", 2*s+2),
+			OutC: outCh, OutH: h, OutW: h, Kernel: 1, Stride: 1, InC: 2 * f})
+	}
+	return rows
+}

@@ -1,0 +1,193 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"computecovid19/internal/ddnet"
+	"computecovid19/internal/kernels"
+)
+
+func paperCounts() kernels.ClassCounts {
+	return kernels.DDnetCounts(ddnet.PaperConfig(), 512)
+}
+
+func within(got, want, relTol float64) bool {
+	return math.Abs(got-want) <= relTol*want
+}
+
+func TestCatalogMatchesTable4Hardware(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 6 {
+		t.Fatalf("catalog has %d platforms, want 6", len(cat))
+	}
+	v100 := cat[0]
+	if v100.Cores != 5120 || v100.BandwidthGBs != 900 || v100.FreqMHz != 1380 {
+		t.Fatalf("V100 specs wrong: %+v", v100)
+	}
+	xeon := cat[4]
+	if xeon.Kind != CPU || xeon.Cores != 24 || xeon.BandwidthGBs != 119 {
+		t.Fatalf("Xeon specs wrong: %+v", xeon)
+	}
+	fpga := cat[5]
+	if fpga.Kind != FPGA || fpga.Cores != 2 || fpga.BandwidthGBs != 3 {
+		t.Fatalf("Arria specs wrong: %+v", fpga)
+	}
+}
+
+func TestPlatformByName(t *testing.T) {
+	if _, err := PlatformByName("Nvidia V100 GPU"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlatformByName("TPU v9"); err == nil {
+		t.Fatal("unknown platform should error")
+	}
+}
+
+// Anchor rows: the model was calibrated on V100, Xeon, and optimized
+// FPGA; those must land close to Table 5.
+func TestModelReproducesAnchorRows(t *testing.T) {
+	cc := paperCounts()
+	v100, _ := PlatformByName("Nvidia V100 GPU")
+	got := v100.Project(cc, kernels.REF, false)
+	if !within(got.Conv, 0.036, 0.30) {
+		t.Errorf("V100 conv = %.3fs, paper 0.036s", got.Conv)
+	}
+	if !within(got.Deconv, 0.059, 0.30) {
+		t.Errorf("V100 deconv = %.3fs, paper 0.059s", got.Deconv)
+	}
+	if !within(got.Total(), 0.10, 0.35) {
+		t.Errorf("V100 total = %.3fs, paper 0.10s", got.Total())
+	}
+
+	xeon, _ := PlatformByName("Intel Xeon Gold 6128 CPU")
+	gotX := xeon.Project(cc, kernels.REF, false)
+	if !within(gotX.Conv, 0.495, 0.35) {
+		t.Errorf("Xeon conv = %.3fs, paper 0.495s", gotX.Conv)
+	}
+	if !within(gotX.Deconv, 1.078, 0.35) {
+		t.Errorf("Xeon deconv = %.3fs, paper 1.078s", gotX.Deconv)
+	}
+
+	fpga, _ := PlatformByName("Intel Arria 10 GX 1150 FPGA")
+	gotF := fpga.Project(cc, kernels.REFPFLU, true)
+	if !within(gotF.Conv, 9.819, 0.40) {
+		t.Errorf("FPGA conv = %.3fs, paper 9.819s", gotF.Conv)
+	}
+	if !within(gotF.Deconv, 2.839, 0.40) {
+		t.Errorf("FPGA deconv = %.3fs, paper 2.839s", gotF.Deconv)
+	}
+	if !within(gotF.Total(), 16.74, 0.40) {
+		t.Errorf("FPGA total = %.3fs, paper 16.74s", gotF.Total())
+	}
+}
+
+// Table 4 shape: OpenCL runtime ordering V100 < {P100, Vega} < T4 < CPU
+// < FPGA.
+func TestTable4Ordering(t *testing.T) {
+	cc := paperCounts()
+	var totals []float64
+	for _, p := range Catalog() {
+		totals = append(totals, p.Project(cc, kernels.REFPFLU, p.Kind == FPGA).Total())
+	}
+	v100, p100, vega, t4, cpu, fpga := totals[0], totals[1], totals[2], totals[3], totals[4], totals[5]
+	if !(v100 < p100 && v100 < vega && v100 < t4) {
+		t.Fatalf("V100 must be fastest: %v", totals)
+	}
+	if !(p100 < cpu && vega < cpu && t4 < cpu) {
+		t.Fatalf("every GPU must beat the CPU: %v", totals)
+	}
+	if !(cpu < fpga) {
+		t.Fatalf("CPU must beat the FPGA: %v", totals)
+	}
+}
+
+// Table 7 shape: the ladder is monotone per platform and the baseline
+// scatter deconvolution collapses on GPUs by orders of magnitude.
+func TestTable7LadderShape(t *testing.T) {
+	cc := paperCounts()
+	for _, p := range Catalog() {
+		base := p.Project(cc, kernels.Baseline, false).Total()
+		ref := p.Project(cc, kernels.REF, false).Total()
+		pf := p.Project(cc, kernels.REFPF, false).Total()
+		lu := p.Project(cc, kernels.REFPFLU, false).Total()
+		if !(base > ref && ref >= pf && pf >= lu) {
+			t.Fatalf("%s ladder not monotone: %v %v %v %v", p.Name, base, ref, pf, lu)
+		}
+		if p.Kind == GPU && base/ref < 100 {
+			t.Fatalf("%s baseline/REF = %.0f×, paper shows orders of magnitude", p.Name, base/ref)
+		}
+		if p.Kind == CPU && (base/ref < 2 || base/ref > 6) {
+			t.Fatalf("CPU baseline/REF = %.1f×, paper shows ≈3.3×", base/ref)
+		}
+		if p.Kind == GPU && (pf/ref < 0.90 || lu/ref < 0.85) {
+			t.Fatalf("%s PF/LU should be marginal on memory-bound GPUs", p.Name)
+		}
+	}
+}
+
+// Table 4 shape: PyTorch is slower than OpenCL everywhere it runs, by
+// 2–4.5×, and is unavailable on Vega and the FPGA.
+func TestPyTorchProjection(t *testing.T) {
+	cc := paperCounts()
+	for _, p := range Catalog() {
+		pt, ok := p.PyTorchSeconds(cc)
+		switch p.Name {
+		case "AMD Radeon Vega Frontier GPU", "Intel Arria 10 GX 1150 FPGA":
+			if ok {
+				t.Fatalf("%s should not have a PyTorch runtime", p.Name)
+			}
+		default:
+			if !ok {
+				t.Fatalf("%s should have a PyTorch runtime", p.Name)
+			}
+			ocl := p.Project(cc, kernels.REFPFLU, false).Total()
+			ratio := pt / ocl
+			if ratio < 2 || ratio > 4.5 {
+				t.Fatalf("%s PyTorch/OpenCL = %.1f, paper shows 2.0–4.4", p.Name, ratio)
+			}
+		}
+	}
+}
+
+// §5.1.3: performance tracks memory bandwidth — kernels must be
+// memory-bound (memory term >= compute term) on every platform.
+func TestKernelsAreMemoryBound(t *testing.T) {
+	cc := paperCounts()
+	for _, p := range Catalog() {
+		if p.Kind == FPGA {
+			continue // the FPGA's compute fabric is the exception
+		}
+		got := p.Project(cc, kernels.REF, false)
+		cmpTime := float64(cc.Conv.Flops) / (p.PeakGFLOPs * 1e9)
+		if cmpTime > got.Conv {
+			t.Fatalf("%s conv compute-bound in model; paper says memory-bound", p.Name)
+		}
+	}
+}
+
+// The FPGA reconfiguration overhead must appear in the optimized mode's
+// Other class (§4.2.3).
+func TestFPGAReconfigOverhead(t *testing.T) {
+	cc := paperCounts()
+	fpga, _ := PlatformByName("Intel Arria 10 GX 1150 FPGA")
+	opt := fpga.Project(cc, kernels.REFPFLU, true)
+	if opt.Other < fpgaReconfigSeconds {
+		t.Fatalf("optimized FPGA Other = %.2fs, must include %.1fs reconfiguration",
+			opt.Other, fpgaReconfigSeconds)
+	}
+}
+
+// Scaling property: halving the image halves (quadratically) every
+// projected time; the model must be monotone in problem size.
+func TestProjectionMonotoneInSize(t *testing.T) {
+	small := kernels.DDnetCounts(ddnet.PaperConfig(), 256)
+	big := kernels.DDnetCounts(ddnet.PaperConfig(), 512)
+	for _, p := range Catalog() {
+		ts := p.Project(small, kernels.REF, false).Total()
+		tb := p.Project(big, kernels.REF, false).Total()
+		if ts >= tb {
+			t.Fatalf("%s: 256px (%.3fs) not faster than 512px (%.3fs)", p.Name, ts, tb)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package distrib
+
+// ClusterModel projects epoch and training runtimes for the paper's
+// Table 3 setup: VT ARC "Infer" nodes with one Nvidia T4 each, gloo over
+// the cluster interconnect, training DDnet on 5102 images of 512².
+//
+// The model is a linear per-step cost fitted to the paper's own
+// measurements:
+//
+//	stepSeconds = alpha + beta·perNodeBatch + gamma·(nodes−1)
+//
+// beta is the T4's per-sample DDnet backprop time, alpha the fixed
+// kernel-launch overhead, and the gamma term the gloo ring
+// synchronization, whose cost grows with the ring length. Sub-linear
+// speedup falls out of the gamma term, exactly the effect §5.1.2
+// describes.
+type ClusterModel struct {
+	// SamplesPerEpoch is the training-set size (paper: 2286 Mayo + 2816
+	// simulated = 5102).
+	SamplesPerEpoch int
+	// AlphaSeconds is the fixed per-step overhead.
+	AlphaSeconds float64
+	// BetaSecondsPerSample is the per-sample gradient computation time.
+	BetaSecondsPerSample float64
+	// GammaSecondsPerHop is the synchronization cost per additional ring
+	// node.
+	GammaSecondsPerHop float64
+}
+
+// PaperCluster returns the model fitted to Table 3 (T4 GPUs, 512×512
+// DDnet, batch-1 single-node epoch ≈ 1098 s).
+func PaperCluster() ClusterModel {
+	return ClusterModel{
+		SamplesPerEpoch:      5102,
+		AlphaSeconds:         0.020,
+		BetaSecondsPerSample: 0.195,
+		GammaSecondsPerHop:   0.009,
+	}
+}
+
+// StepSeconds returns the projected duration of one synchronous
+// data-parallel step.
+func (c ClusterModel) StepSeconds(nodes, globalBatch int) float64 {
+	perNode := float64(globalBatch) / float64(nodes)
+	return c.AlphaSeconds + c.BetaSecondsPerSample*perNode + c.GammaSecondsPerHop*float64(nodes-1)
+}
+
+// EpochSeconds returns the projected duration of one epoch.
+func (c ClusterModel) EpochSeconds(nodes, globalBatch int) float64 {
+	steps := float64(c.SamplesPerEpoch) / float64(globalBatch)
+	return steps * c.StepSeconds(nodes, globalBatch)
+}
+
+// TrainingSeconds returns the projected duration of a full run.
+func (c ClusterModel) TrainingSeconds(nodes, globalBatch, epochs int) float64 {
+	return float64(epochs) * c.EpochSeconds(nodes, globalBatch)
+}
+
+// Speedup returns the projected speedup of (nodes, batch) over the
+// single-node batch-1 baseline at equal epochs.
+func (c ClusterModel) Speedup(nodes, globalBatch int) float64 {
+	return c.EpochSeconds(1, 1) / c.EpochSeconds(nodes, globalBatch)
+}

@@ -1,0 +1,57 @@
+package distrib
+
+// Naive (parameter-server) all-reduce and communication-volume
+// accounting — the ablation partner of the ring algorithm. gloo's ring
+// moves 2·(n−1)/n of the vector per node regardless of n; the central
+// server moves (n−1) full vectors in and out, so it stops scaling the
+// moment the model is large — the reason DDP (and this package) rings.
+
+// NaiveAllReduce sums the per-node vectors through a central node
+// (gather to node 0, reduce, broadcast) and leaves the result in every
+// vector.
+func NaiveAllReduce(vectors [][]float32) {
+	n := len(vectors)
+	if n <= 1 {
+		return
+	}
+	root := vectors[0]
+	for _, v := range vectors[1:] {
+		for i, x := range v {
+			root[i] += x
+		}
+	}
+	for _, v := range vectors[1:] {
+		copy(v, root)
+	}
+}
+
+// RingBytesPerNode returns the bytes each node sends under the ring
+// algorithm for a float32 vector of the given length:
+// 2·(n−1)/n · 4·length (reduce-scatter + all-gather).
+func RingBytesPerNode(nodes, length int) int {
+	if nodes <= 1 {
+		return 0
+	}
+	return 2 * (nodes - 1) * 4 * length / nodes
+}
+
+// ServerBytesAtRoot returns the bytes the central node moves under the
+// parameter-server scheme: (n−1) vectors received plus (n−1) sent.
+func ServerBytesAtRoot(nodes, length int) int {
+	if nodes <= 1 {
+		return 0
+	}
+	return 2 * (nodes - 1) * 4 * length
+}
+
+// RingStepSeconds models the wall time of one ring all-reduce over a
+// link of the given bandwidth (bytes/s) with per-hop latency: the
+// 2(n−1) pipeline steps each move length/n elements.
+func RingStepSeconds(nodes, length int, bandwidthBps, hopLatency float64) float64 {
+	if nodes <= 1 {
+		return 0
+	}
+	chunkBytes := float64(4*length) / float64(nodes)
+	steps := float64(2 * (nodes - 1))
+	return steps * (hopLatency + chunkBytes/bandwidthBps)
+}

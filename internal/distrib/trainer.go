@@ -1,0 +1,151 @@
+package distrib
+
+import (
+	"fmt"
+	"sync"
+
+	"computecovid19/internal/ag"
+	"computecovid19/internal/nn"
+	"computecovid19/internal/tensor"
+)
+
+// Model is what the data-parallel trainer needs from a network.
+type Model interface {
+	Params() []*ag.Value
+	SetTraining(train bool)
+}
+
+// LossFunc builds the scalar training loss of model m on a mini-batch.
+// It must construct the graph through m's parameters so Backward reaches
+// them.
+type LossFunc func(m Model, xs, ys []*tensor.Tensor) *ag.Value
+
+// Trainer runs synchronous data-parallel SGD in the DistributedDataParallel
+// style: every node holds a full replica, gradients are ring-all-reduced
+// each step, and identical optimizer states keep the replicas in
+// lockstep (§4.1: "forward propagation is executed independently, while
+// the gradients are synchronized during back propagation").
+type Trainer struct {
+	Nodes    int
+	replicas []Model
+	opts     []*nn.Adam
+	loss     LossFunc
+}
+
+// NewTrainer builds a trainer with `nodes` replicas. factory must be
+// deterministic: every invocation returns a model with identical initial
+// parameters (use a fixed seed inside).
+func NewTrainer(factory func() Model, nodes int, lr float64, loss LossFunc) *Trainer {
+	if nodes < 1 {
+		panic("distrib: need at least one node")
+	}
+	t := &Trainer{Nodes: nodes, loss: loss}
+	for i := 0; i < nodes; i++ {
+		m := factory()
+		m.SetTraining(true)
+		t.replicas = append(t.replicas, m)
+		t.opts = append(t.opts, nn.NewAdam(m.Params(), lr))
+	}
+	// Verify the factory is deterministic — silent divergence here would
+	// invalidate every result built on the trainer.
+	if nodes > 1 {
+		p0, p1 := t.replicas[0].Params(), t.replicas[1].Params()
+		for i := range p0 {
+			if !p0[i].T.AllClose(p1[i].T, 0) {
+				panic(fmt.Sprintf("distrib: factory is not deterministic (param %d differs)", i))
+			}
+		}
+	}
+	return t
+}
+
+// Master returns replica 0, whose parameters equal every other
+// replica's.
+func (t *Trainer) Master() Model { return t.replicas[0] }
+
+// SetLR updates the learning rate on every node's optimizer.
+func (t *Trainer) SetLR(lr float64) {
+	for _, o := range t.opts {
+		o.SetLR(lr)
+	}
+}
+
+// LR reports the current learning rate.
+func (t *Trainer) LR() float64 { return t.opts[0].LR() }
+
+// Step performs one synchronous data-parallel step on a global batch:
+// shard across nodes, backward per node in parallel, ring all-reduce the
+// gradients, identical optimizer step everywhere. Returns the global
+// mean loss. Nodes with an empty shard (global batch smaller than the
+// node count) contribute zero gradients, as DDP's join semantics do.
+func (t *Trainer) Step(xs, ys []*tensor.Tensor) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("distrib: Step needs equally many inputs and targets")
+	}
+	global := len(xs)
+
+	losses := make([]float64, t.Nodes)
+	var wg sync.WaitGroup
+	for node := 0; node < t.Nodes; node++ {
+		lo := node * global / t.Nodes
+		hi := (node + 1) * global / t.Nodes
+		wg.Add(1)
+		go func(node, lo, hi int) {
+			defer wg.Done()
+			m := t.replicas[node]
+			for _, p := range m.Params() {
+				p.ZeroGrad()
+			}
+			if lo == hi {
+				// Ensure gradients exist so the all-reduce stays aligned.
+				for _, p := range m.Params() {
+					p.Grad = tensor.New(p.T.Shape...)
+				}
+				return
+			}
+			loss := t.loss(m, xs[lo:hi], ys[lo:hi])
+			// Scale so the all-reduced mean over nodes equals the global
+			// batch mean: shardMean · shardSize · nodes / global.
+			scaled := ag.MulConst(loss, float32(hi-lo)*float32(t.Nodes)/float32(global))
+			scaled.Backward()
+			losses[node] = float64(loss.Scalar()) * float64(hi-lo)
+		}(node, lo, hi)
+	}
+	wg.Wait()
+
+	// Gradient synchronization: one ring all-reduce per parameter
+	// tensor, as gloo buckets do.
+	params0 := t.replicas[0].Params()
+	for pi := range params0 {
+		vecs := make([][]float32, t.Nodes)
+		for node := 0; node < t.Nodes; node++ {
+			vecs[node] = t.replicas[node].Params()[pi].Grad.Data
+		}
+		AllReduceMean(vecs)
+	}
+
+	for _, o := range t.opts {
+		o.Step()
+	}
+
+	total := 0.0
+	for _, l := range losses {
+		total += l
+	}
+	return total / float64(global)
+}
+
+// InSync reports whether all replicas hold identical parameters (used by
+// tests and assertions; any drift means broken synchronization).
+func (t *Trainer) InSync(tol float64) bool {
+	p0 := t.replicas[0].Params()
+	for node := 1; node < t.Nodes; node++ {
+		pn := t.replicas[node].Params()
+		for i := range p0 {
+			if !p0[i].T.AllClose(pn[i].T, tol) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,215 @@
+// Package epi implements a two-strain SEIR compartment model used to
+// regenerate the motivational Figure 2 of the paper: confirmed COVID-19
+// cases per million over time, with a more-transmissible variant (the
+// paper's B.1.617.2 example) introduced mid-epidemic and taking over,
+// producing the fourth-wave upswing the figure shows for the UK.
+package epi
+
+import "math"
+
+// Params configures a two-strain SEIR simulation.
+type Params struct {
+	// Population is the total population.
+	Population float64
+	// R0Base is the basic reproduction number of the original strain.
+	R0Base float64
+	// R0Variant is the variant's reproduction number.
+	R0Variant float64
+	// VariantDay is the day the variant is seeded.
+	VariantDay int
+	// IncubationDays is the mean latent period (1/σ).
+	IncubationDays float64
+	// InfectiousDays is the mean infectious period (1/γ).
+	InfectiousDays float64
+	// Days is the simulation horizon.
+	Days int
+	// Seeds is the initial number of infectious individuals.
+	Seeds float64
+	// InterventionR scales both strains' transmission after each wave
+	// peak exceeds InterventionThreshold cases/day (lockdown response);
+	// 1 disables interventions.
+	InterventionR float64
+	// InterventionThreshold is the daily-cases-per-million level that
+	// triggers (and, at half, releases) the intervention.
+	InterventionThreshold float64
+	// DetectionRate is the fraction of infections that become confirmed
+	// cases.
+	DetectionRate float64
+	// VaccinationStartDay begins a rollout moving susceptibles to the
+	// recovered compartment; negative disables vaccination.
+	VaccinationStartDay int
+	// VaccinationPerDay is the fraction of the population vaccinated per
+	// day once the rollout starts.
+	VaccinationPerDay float64
+	// ReopenDay disables interventions from that day on (the paper's
+	// "partial easing of restrictions" that, together with the Delta
+	// variant, started the UK's fourth wave).
+	ReopenDay int
+}
+
+// UKLikeParams reproduces the qualitative UK trajectory of Figure 2:
+// waves suppressed by interventions, then a Delta-like variant driving a
+// fourth wave.
+func UKLikeParams() Params {
+	return Params{
+		Population:            67e6,
+		R0Base:                2.0,
+		R0Variant:             6.0,
+		VariantDay:            400,
+		IncubationDays:        4,
+		InfectiousDays:        5,
+		Days:                  540,
+		Seeds:                 200,
+		InterventionR:         0.35,
+		InterventionThreshold: 250,
+		DetectionRate:         0.45,
+		VaccinationStartDay:   280,
+		VaccinationPerDay:     0.003,
+		ReopenDay:             395,
+	}
+}
+
+// Point is one simulated day.
+type Point struct {
+	Day int
+	// NewCasesPerMillion is the confirmed-cases rate Figure 2 plots.
+	NewCasesPerMillion float64
+	// VariantShare is the fraction of new infections caused by the
+	// variant strain.
+	VariantShare float64
+	// Intervention reports whether suppression measures are active.
+	Intervention bool
+}
+
+// Simulate integrates the two-strain SEIR system with daily Euler steps
+// (adequate for the rates involved) and returns the daily series.
+func Simulate(p Params) []Point {
+	sigma := 1 / p.IncubationDays
+	gamma := 1 / p.InfectiousDays
+	beta1 := p.R0Base * gamma
+	beta2 := p.R0Variant * gamma
+
+	s := p.Population - p.Seeds
+	e1, i1 := 0.0, p.Seeds
+	e2, i2 := 0.0, 0.0
+	r := 0.0
+
+	intervention := false
+	out := make([]Point, 0, p.Days)
+	for day := 0; day < p.Days; day++ {
+		if day == p.VariantDay {
+			// Imported variant cases (the UK's Delta introduction was
+			// hundreds to thousands of travel-linked infections).
+			seed := p.Seeds * 10
+			i2 += seed
+			s -= seed
+		}
+		if p.VaccinationStartDay >= 0 && day >= p.VaccinationStartDay && p.VaccinationPerDay > 0 {
+			doses := p.VaccinationPerDay * p.Population
+			if doses > s {
+				doses = s
+			}
+			s -= doses
+			r += doses
+		}
+		reopened := p.ReopenDay > 0 && day >= p.ReopenDay
+		if reopened {
+			intervention = false
+		}
+		mult := 1.0
+		if intervention {
+			mult = p.InterventionR
+		}
+		frac := s / p.Population
+		newInf1 := mult * beta1 * i1 * frac
+		newInf2 := mult * beta2 * i2 * frac
+		newSym1 := sigma * e1
+		newSym2 := sigma * e2
+
+		s -= newInf1 + newInf2
+		e1 += newInf1 - newSym1
+		e2 += newInf2 - newSym2
+		i1 += newSym1 - gamma*i1
+		i2 += newSym2 - gamma*i2
+		r += gamma * (i1 + i2)
+		if s < 0 {
+			s = 0
+		}
+
+		newCases := (newSym1 + newSym2) * p.DetectionRate
+		perMillion := newCases / p.Population * 1e6
+		share := 0.0
+		if newSym1+newSym2 > 0 {
+			share = newSym2 / (newSym1 + newSym2)
+		}
+		out = append(out, Point{
+			Day:                day,
+			NewCasesPerMillion: perMillion,
+			VariantShare:       share,
+			Intervention:       intervention,
+		})
+
+		// Hysteresis-based intervention switching (until reopening):
+		// lockdowns engage above the threshold and are held until cases
+		// fall well below it, producing the distinct, separated waves of
+		// the real curves.
+		if p.InterventionR < 1 && !reopened {
+			if !intervention && perMillion > p.InterventionThreshold {
+				intervention = true
+			} else if intervention && perMillion < p.InterventionThreshold/8 {
+				intervention = false
+			}
+		}
+	}
+	return out
+}
+
+// Waves counts the local maxima of the smoothed case curve that exceed
+// minHeight cases per million — the "wave" count a reader would see in
+// Figure 2.
+func Waves(series []Point, minHeight float64) int {
+	// 7-day smoothing first, as dashboards do.
+	sm := make([]float64, len(series))
+	for i := range series {
+		lo := i - 3
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + 4
+		if hi > len(series) {
+			hi = len(series)
+		}
+		sum := 0.0
+		for j := lo; j < hi; j++ {
+			sum += series[j].NewCasesPerMillion
+		}
+		sm[i] = sum / float64(hi-lo)
+	}
+	// Hysteresis: a new wave is counted when the curve crosses above
+	// minHeight after having fallen below minHeight/2 — so the sawtooth
+	// that intervention on/off switching produces inside one epidemic
+	// wave is not double counted.
+	waves := 0
+	armed := true
+	for _, v := range sm {
+		if armed && v > minHeight {
+			waves++
+			armed = false
+		} else if !armed && v < minHeight/2 {
+			armed = true
+		}
+	}
+	return waves
+}
+
+// PeakDay returns the day with the highest case rate in [from, to).
+func PeakDay(series []Point, from, to int) int {
+	best, bestDay := math.Inf(-1), from
+	for _, pt := range series {
+		if pt.Day >= from && pt.Day < to && pt.NewCasesPerMillion > best {
+			best = pt.NewCasesPerMillion
+			bestDay = pt.Day
+		}
+	}
+	return bestDay
+}

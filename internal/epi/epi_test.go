@@ -1,0 +1,105 @@
+package epi
+
+import (
+	"testing"
+)
+
+func TestSimulateConservesPopulationApproximately(t *testing.T) {
+	p := UKLikeParams()
+	series := Simulate(p)
+	if len(series) != p.Days {
+		t.Fatalf("series length %d, want %d", len(series), p.Days)
+	}
+	for _, pt := range series {
+		if pt.NewCasesPerMillion < 0 {
+			t.Fatalf("negative case rate on day %d", pt.Day)
+		}
+	}
+}
+
+func TestVariantTakesOver(t *testing.T) {
+	p := UKLikeParams()
+	series := Simulate(p)
+	// Before the variant is seeded its share is zero.
+	if series[p.VariantDay-1].VariantShare != 0 {
+		t.Fatal("variant share nonzero before introduction")
+	}
+	// The paper notes the Delta variant reached 98% of UK cases; our
+	// higher-R0 strain must dominate by the end of the horizon.
+	final := series[len(series)-1].VariantShare
+	if final < 0.9 {
+		t.Fatalf("variant share at end = %v, want > 0.9 (paper: 98%%)", final)
+	}
+}
+
+func TestFourthWaveShape(t *testing.T) {
+	p := UKLikeParams()
+	series := Simulate(p)
+	// A late wave must rise after the variant arrives: the peak in the
+	// post-variant window exceeds the level just before it.
+	preLevel := series[p.VariantDay-1].NewCasesPerMillion
+	postPeakDay := PeakDay(series, p.VariantDay, p.Days)
+	postPeak := series[postPeakDay].NewCasesPerMillion
+	if postPeak < 4*preLevel {
+		t.Fatalf("no variant-driven wave: pre %v, post peak %v", preLevel, postPeak)
+	}
+	// Multiple waves overall (the UK curve shows several).
+	if w := Waves(series, 100); w < 2 {
+		t.Fatalf("only %d waves detected, want >= 2", w)
+	}
+}
+
+func TestNoVariantNoFourthWave(t *testing.T) {
+	p := UKLikeParams()
+	p.VariantDay = p.Days + 1 // never seeded
+	series := Simulate(p)
+	for _, pt := range series {
+		if pt.VariantShare != 0 {
+			t.Fatal("variant share nonzero despite no seeding")
+		}
+	}
+	// The post-day-400 epidemic should be quiescent without the variant
+	// (interventions + immunity suppressed the base strain).
+	basePeak := series[PeakDay(series, 400, p.Days)].NewCasesPerMillion
+	withVariant := Simulate(UKLikeParams())
+	varPeak := withVariant[PeakDay(withVariant, 400, p.Days)].NewCasesPerMillion
+	if varPeak < 2*basePeak {
+		t.Fatalf("variant should drive a much larger late wave: base %v, variant %v",
+			basePeak, varPeak)
+	}
+}
+
+func TestInterventionSuppresses(t *testing.T) {
+	free := UKLikeParams()
+	free.InterventionR = 1 // no lockdowns
+	freeSeries := Simulate(free)
+	controlled := Simulate(UKLikeParams())
+	freePeak := freeSeries[PeakDay(freeSeries, 0, 200)].NewCasesPerMillion
+	ctrlPeak := controlled[PeakDay(controlled, 0, 200)].NewCasesPerMillion
+	if ctrlPeak >= freePeak {
+		t.Fatalf("interventions should flatten the first wave: free %v, controlled %v",
+			freePeak, ctrlPeak)
+	}
+}
+
+func TestWavesOnSyntheticSeries(t *testing.T) {
+	mk := func(vals ...float64) []Point {
+		pts := make([]Point, len(vals))
+		for i, v := range vals {
+			pts[i] = Point{Day: i, NewCasesPerMillion: v}
+		}
+		return pts
+	}
+	// Smoothing needs some width; build two clear bumps.
+	var vals []float64
+	for i := 0; i < 30; i++ {
+		vals = append(vals, float64(100-(i-15)*(i-15)))
+	}
+	for i := 0; i < 30; i++ {
+		vals = append(vals, float64(80-(i-15)*(i-15))/2)
+	}
+	series := mk(vals...)
+	if w := Waves(series, 10); w != 2 {
+		t.Fatalf("Waves = %d, want 2", w)
+	}
+}

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"computecovid19/internal/classify"
+	"computecovid19/internal/core"
+	"computecovid19/internal/ctsim"
+	"computecovid19/internal/dataset"
+	"computecovid19/internal/ddnet"
+	"computecovid19/internal/epi"
+	"computecovid19/internal/metrics"
+	"computecovid19/internal/phantom"
+	"computecovid19/internal/segment"
+	"computecovid19/internal/tensor"
+	"computecovid19/internal/workflow"
+)
+
+// AccuracyResult bundles everything the paper's accuracy evaluation
+// (§5.2) reports: Table 8, Table 9, Figures 11–13.
+type AccuracyResult struct {
+	// Table 8: MSE and MS-SSIM of target-vs-lowdose and
+	// target-vs-enhanced, on the enhancement test split.
+	MSEYX, MSSSIMYX, MSEYFX, MSSSIMYFX float64
+	// Figure 11 loss curves.
+	EnhancerCurve, ClassifierCurve []float64
+	// Figure 13 / Table 9: classification without (Plain) and with
+	// (Enhanced) Enhancement AI on the degraded test cohort.
+	Plain, Enhanced core.Evaluation
+	// MeanPositiveProbGain is §5.2.3's improvement of the mean predicted
+	// probability on COVID-positive scans.
+	MeanPositiveProbGain float64
+	// Trained artifacts, reused by figure renderers and examples.
+	Enhancer   *ddnet.DDnet
+	Classifier *classify.Classifier
+	TestPairs  []dataset.EnhancementPair
+}
+
+// RunAccuracy executes the end-to-end accuracy experiment at reduced
+// scale: train DDnet on simulated low-dose pairs, train the 3D DenseNet
+// classifier on clean scans, then diagnose a degraded test cohort with
+// and without Enhancement AI in front of Segmentation + Classification.
+func RunAccuracy(cfg Config) *AccuracyResult {
+	size, depth := 32, 8
+	pairCount, cohortCount := 24, 52
+	enhEpochs, clsEpochs := 16, 20
+	severity := 0.85
+	if cfg.Quick {
+		pairCount, cohortCount = 12, 24
+		enhEpochs, clsEpochs = 10, 16
+		severity = 1.0
+	}
+	const photons = 100 // dose level whose low-dose MS-SSIM matches the paper (≈95%)
+
+	// 1. Enhancement AI: train on low-dose pairs from the same physics.
+	ecfg := dataset.EnhancementConfig{
+		Size: size, Count: pairCount, Views: 120, Detectors: 64,
+		PhotonsPerRay: 1e6, DoseDivisor: 1e6 / photons,
+		LesionFraction: 0.5, Seed: cfg.Seed,
+	}
+	pairs := dataset.BuildEnhancement(ecfg)
+	trainPairs, _, testPairs := dataset.Split(pairs, 0.8, 0)
+
+	enh := ddnet.New(rand.New(rand.NewSource(cfg.Seed+11)), ddnet.TinyConfig())
+	etc := core.DefaultEnhancerTraining()
+	etc.Epochs = enhEpochs
+	etc.Seed = cfg.Seed + 12
+	enhCurve := core.TrainEnhancer(enh, trainPairs, etc)
+
+	res := &AccuracyResult{EnhancerCurve: enhCurve, Enhancer: enh, TestPairs: testPairs}
+	res.MSEYX, res.MSSSIMYX, res.MSEYFX, res.MSSSIMYFX = core.EvaluateEnhancer(enh, testPairs)
+
+	// 2. Cohort with paired clean/degraded volumes.
+	ccfg := dataset.CohortConfig{
+		Size: size, Depth: depth, Count: cohortCount, PositiveFraction: 0.5,
+		Severity: severity, LowDose: true, Views: 120, Detectors: 64,
+		PhotonsPerRay: photons, Seed: cfg.Seed + 13,
+	}
+	cohort := dataset.BuildCohort(ccfg)
+	trainCases, _, testCases := dataset.Split(cohort, 0.6, 0)
+
+	// 3. Classification AI: trained on clean scans (the paper's
+	// classifier is trained on normal-quality clinical volumes).
+	cleanTrain := make([]dataset.Case, len(trainCases))
+	for i, c := range trainCases {
+		cleanTrain[i] = c
+		cleanTrain[i].Volume = c.Clean
+	}
+	cls := classify.New(rand.New(rand.NewSource(cfg.Seed+14)), classify.SmallConfig())
+	ctc := core.DefaultClassifierTraining()
+	ctc.Epochs = clsEpochs
+	ctc.LR = 5e-3
+	// The paper's augmentation regularizes a 305-scan corpus; at this
+	// demo scale it delays convergence past the budget, so it stays off
+	// here (it is exercised separately in the classify tests).
+	ctc.Augment = false
+	ctc.Seed = cfg.Seed + 15
+	res.ClassifierCurve = core.TrainClassifier(cls, cleanTrain, ctc)
+	res.Classifier = cls
+
+	// 4. Diagnose the degraded test cohort with and without Enhancement
+	// AI (Figure 4's workflow vs its grey-arrow ablation).
+	plainPipe := core.NewPipeline(nil, cls)
+	enhPipe := core.NewPipeline(enh, cls)
+	res.Plain = core.EvaluateCohort(plainPipe, testCases)
+	res.Enhanced = core.EvaluateCohort(enhPipe, testCases)
+
+	// §5.2.3: mean predicted probability on positive scans.
+	plainProbs, labels := plainPipe.Score(testCases)
+	enhProbs, _ := enhPipe.Score(testCases)
+	var gain float64
+	var nPos int
+	for i, l := range labels {
+		if l {
+			gain += enhProbs[i] - plainProbs[i]
+			nPos++
+		}
+	}
+	if nPos > 0 {
+		res.MeanPositiveProbGain = gain / float64(nPos)
+	}
+	return res
+}
+
+// Table8 renders the enhancement accuracy table.
+func Table8(r *AccuracyResult) string {
+	t := &table{header: []string{"", "MSE", "MS-SSIM", "paper MSE", "paper MS-SSIM"}}
+	t.add("Y-X", fmt.Sprintf("%.5f", r.MSEYX), fmt.Sprintf("%.1f %%", r.MSSSIMYX*100), "0.00715", "96.2 %")
+	t.add("Y-f(X)", fmt.Sprintf("%.5f", r.MSEYFX), fmt.Sprintf("%.1f %%", r.MSSSIMYFX*100), "0.00091", "98.7 %")
+	return "Table 8: Enhancement AI accuracy (Y: target, X: low-dose, f(X): enhanced)\n" + t.String()
+}
+
+// Table9 renders the confusion matrix of the enhanced pipeline at its
+// optimal threshold.
+func Table9(r *AccuracyResult) string {
+	c := r.Enhanced.Confusion
+	t := &table{header: []string{"", "Ground-truth positive", "Ground-truth negative"}}
+	t.add("Predicted positive", fmt.Sprintf("TP = %d", c.TP), fmt.Sprintf("FP = %d", c.FP))
+	t.add("Predicted negative", fmt.Sprintf("FN = %d", c.FN), fmt.Sprintf("TN = %d", c.TN))
+	return fmt.Sprintf("Table 9: Confusion matrix at optimal threshold %.3f (paper threshold: 0.061)\n%s",
+		r.Enhanced.Threshold, t.String())
+}
+
+// Figure11 renders the training loss curves.
+func Figure11(r *AccuracyResult) string {
+	out := "Figure 11: Training loss curves\n"
+	out += fmt.Sprintf("  (a) Enhancement AI   %s  first %.4f → last %.4f\n",
+		sparkline(r.EnhancerCurve, 40), r.EnhancerCurve[0], r.EnhancerCurve[len(r.EnhancerCurve)-1])
+	out += fmt.Sprintf("  (b) Classification AI %s  first %.4f → last %.4f\n",
+		sparkline(r.ClassifierCurve, 40), r.ClassifierCurve[0], r.ClassifierCurve[len(r.ClassifierCurve)-1])
+	return out
+}
+
+// Figure12 reports per-image enhancement quality on the test pairs (the
+// paper shows images; we report the quantitative underlay and leave
+// PNG export to cmd/ctsim).
+func Figure12(r *AccuracyResult) string {
+	t := &table{header: []string{"Test image", "PSNR low-dose (dB)", "PSNR enhanced (dB)", "|diff| mean"}}
+	for i, p := range r.TestPairs {
+		enhImg := r.Enhancer.Enhance(p.LowDose)
+		d := 0.0
+		for j := range enhImg.Data {
+			v := float64(enhImg.Data[j] - p.Clean.Data[j])
+			if v < 0 {
+				v = -v
+			}
+			d += v
+		}
+		d /= float64(enhImg.Numel())
+		t.add(fmt.Sprint(i),
+			fmt.Sprintf("%.2f", metrics.PSNR(p.Clean, p.LowDose, 1)),
+			fmt.Sprintf("%.2f", metrics.PSNR(p.Clean, enhImg, 1)),
+			fmt.Sprintf("%.4f", d))
+	}
+	return "Figure 12: Image enhancement quality (difference-map statistics)\n" + t.String()
+}
+
+// Figure13 renders the accuracy / ROC comparison.
+func Figure13(r *AccuracyResult) string {
+	t := &table{header: []string{"Pipeline", "Accuracy", "AUC-ROC", "paper Accuracy", "paper AUC"}}
+	t.add("Segmentation+Classification (original scans)",
+		fmt.Sprintf("%.2f%%", r.Plain.Accuracy*100), fmt.Sprintf("%.3f", r.Plain.AUC),
+		"86.32%", "0.890")
+	t.add("Enhancement+Segmentation+Classification",
+		fmt.Sprintf("%.2f%%", r.Enhanced.Accuracy*100), fmt.Sprintf("%.3f", r.Enhanced.AUC),
+		"90.53%", "0.942")
+	out := "Figure 13: ComputeCOVID19+ evaluation (classification with vs without Enhancement AI)\n" + t.String()
+	out += fmt.Sprintf("\nMean positive-scan probability gain from enhancement: %+.4f (paper: +0.1136)\n",
+		r.MeanPositiveProbGain)
+	out += "\nROC (enhanced pipeline):\n"
+	rt := &table{header: []string{"threshold", "FPR", "TPR"}}
+	for _, pt := range r.Enhanced.ROC {
+		rt.add(fmt.Sprintf("%.3f", pt.Threshold), fmt.Sprintf("%.3f", pt.FPR), fmt.Sprintf("%.3f", pt.TPR))
+	}
+	return out + rt.String()
+}
+
+// Figure2 renders the epidemic simulation behind the paper's
+// motivational figure.
+func Figure2(cfg Config) string {
+	p := epi.UKLikeParams()
+	series := epi.Simulate(p)
+	vals := make([]float64, len(series))
+	for i, pt := range series {
+		vals[i] = pt.NewCasesPerMillion
+	}
+	out := "Figure 2: Confirmed cases per million (two-strain SEIR simulation, UK-like parameters)\n"
+	out += "  cases/M: " + sparkline(vals, 72) + "\n"
+	out += fmt.Sprintf("  major waves (> 100 cases/M): %d; variant introduced day %d; final variant share %.1f%% (paper: 98%%)\n",
+		epi.Waves(series, 100), p.VariantDay, series[len(series)-1].VariantShare*100)
+	peak := epi.PeakDay(series, p.VariantDay, p.Days)
+	out += fmt.Sprintf("  fourth-wave peak: day %d at %.0f cases/M\n", peak, series[peak].NewCasesPerMillion)
+	return out
+}
+
+// Figure8Data holds the low-dose simulation metrics.
+type Figure8Data struct {
+	SinogramViews, SinogramDet int
+	FullDosePSNR, LowDosePSNR  float64
+}
+
+// Figure8Run executes the §3.1.2 low-dose simulation: phantom → fan-beam
+// Siddon projection (paper geometry) → Beer's-law Poisson noise → FBP.
+func Figure8Run(cfg Config) Figure8Data {
+	size := 128
+	views, det := 360, 512
+	if cfg.Quick {
+		size, views, det = 64, 180, 256
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	chest := phantom.NewChest(rng, size, 1)
+	chest.AddRandomLesions(rng, 2, 0.8)
+	hu := chest.SliceHU(0)
+
+	grid := ctsim.Grid{Size: size, PixelSize: 360.0 / float64(size)}
+	fan := ctsim.PaperFanGeometry(grid.FOV())
+	fan.NumViews = views
+	fan.NumDetectors = det
+	fan.DetectorSpacing = grid.FOV() * 1.5 * (fan.SDD / fan.SOD) / float64(det)
+
+	mu := ctsim.HUImageToMu(hu)
+	sino := ctsim.ForwardProjectFan(grid, mu, fan)
+
+	rec := func(b float64) float64 {
+		noisy := ctsim.ApplyPoissonNoise(sino, b, rng)
+		r := ctsim.MuImageToHU(ctsim.ReconstructFan(noisy, grid, fan, ctsim.RamLak))
+		// PSNR over the normalized window.
+		ref := tensor.New(size, size)
+		got := tensor.New(size, size)
+		for i := range hu {
+			ref.Data[i] = float32(ctsim.NormalizeHU(float64(hu[i]), ctsim.FullWindowLo, ctsim.FullWindowHi))
+			got.Data[i] = float32(ctsim.NormalizeHU(float64(r[i]), ctsim.FullWindowLo, ctsim.FullWindowHi))
+		}
+		return metrics.PSNR(ref, got, 1)
+	}
+	return Figure8Data{
+		SinogramViews: views, SinogramDet: det,
+		FullDosePSNR: rec(1e6),
+		LowDosePSNR:  rec(1e4),
+	}
+}
+
+// Figure8 renders the low-dose simulation report.
+func Figure8(cfg Config) string {
+	d := Figure8Run(cfg)
+	out := "Figure 8: Low X-ray dose CT simulation (fan beam, SOD 1000 mm, SDD 1500 mm, b=1e6 photons)\n"
+	out += fmt.Sprintf("  sinogram: %d views x %d detectors\n", d.SinogramViews, d.SinogramDet)
+	out += fmt.Sprintf("  FBP reconstruction PSNR: full dose %.2f dB, 1%%-dose %.2f dB\n",
+		d.FullDosePSNR, d.LowDosePSNR)
+	out += "  (use cmd/ctsim to export the phantom, sinogram, and FBP images as PNGs)\n"
+	return out
+}
+
+// SectionTimings measures this machine's Segmentation AI and
+// Classification AI inference at demo scale, next to the paper's §5.1.1
+// RTX 3090 runtimes.
+func SectionTimings(cfg Config) string {
+	size, depth := 64, 16
+	if cfg.Quick {
+		size, depth = 32, 8
+	}
+	ccfg := dataset.DefaultCohortConfig()
+	ccfg.Count = 1
+	ccfg.Size = size
+	ccfg.Depth = depth
+	ccfg.Seed = cfg.Seed
+	c := dataset.BuildCohort(ccfg)[0]
+
+	start := time.Now()
+	mask := segment.Lungs(c.Volume, segment.DefaultOptions())
+	segTime := time.Since(start)
+	_ = mask
+
+	cls := classify.New(rand.New(rand.NewSource(cfg.Seed)), classify.SmallConfig())
+	norm := c.Volume.Normalized(ctsim.FullWindowLo, ctsim.FullWindowHi)
+	start = time.Now()
+	cls.Predict(norm)
+	clsTime := time.Since(start)
+
+	out := "Section 5.1.1: Segmentation & Classification inference runtimes\n"
+	out += fmt.Sprintf("  measured here (%d×%d×%d volume): segmentation %.3fs, classification %.3fs\n",
+		depth, size, size, segTime.Seconds(), clsTime.Seconds())
+	out += "  paper (RTX 3090, 512×512×n): segmentation 45.88s, classification 5.90s\n"
+	return out
+}
+
+// Turnaround runs the discrete-event comparison behind the paper's
+// headline claim (§1: days via RT-PCR vs minutes via ComputeCOVID19+).
+func Turnaround(cfg Config) string {
+	patients := 200
+	if cfg.Quick {
+		patients = 60
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ct := workflow.Run(workflow.CTPipeline(), patients, 12*time.Hour, rng)
+	pcr := workflow.Run(workflow.RTPCRPipeline(), patients, 12*time.Hour, rand.New(rand.NewSource(cfg.Seed)))
+	rd := func(d time.Duration) string { return d.Round(time.Minute).String() }
+	t := &table{header: []string{"Pipeline", "Median", "Mean", "P90", "Max"}}
+	t.add("ComputeCOVID19+ (CT)", rd(ct.Median), rd(ct.Mean), rd(ct.P90), rd(ct.Max))
+	t.add("RT-PCR laboratory", rd(pcr.Median), rd(pcr.Mean), rd(pcr.P90), rd(pcr.Max))
+	out := fmt.Sprintf("Turnaround-time simulation (%d patients over 12h)\n%s", patients, t.String())
+	out += fmt.Sprintf("\nMedian speedup: %.0f× (paper: days → minutes)\n",
+		float64(pcr.Median)/float64(ct.Median))
+	return out
+}

@@ -1,0 +1,125 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) from this repository's substrates: measured where the
+// experiment runs on the local CPU, projected through the
+// internal/device roofline model where it required the authors' GPU/FPGA
+// testbed, and trained at reduced scale where the original run took GPU
+// hours. Each generator returns a rendered text artifact plus, where
+// meaningful, structured data used by the test suite to check the
+// result's *shape* against the paper.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick selects the reduced-scale configuration used by `go test`;
+	// the full configuration is used by cmd/ccbench.
+	Quick bool
+	// Seed drives every stochastic component.
+	Seed int64
+}
+
+// DefaultConfig returns the full-scale (minutes, not hours) setup.
+func DefaultConfig() Config { return Config{Quick: false, Seed: 1} }
+
+// QuickConfig returns the test-suite setup.
+func QuickConfig() Config { return Config{Quick: true, Seed: 1} }
+
+// table renders an aligned text table.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// sparkline renders a numeric series as a compact unicode plot.
+func sparkline(vals []float64, width int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	// Downsample to width.
+	if width <= 0 || width > len(vals) {
+		width = len(vals)
+	}
+	ds := make([]float64, width)
+	for i := 0; i < width; i++ {
+		lo := i * len(vals) / width
+		hi := (i + 1) * len(vals) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		s := 0.0
+		for j := lo; j < hi; j++ {
+			s += vals[j]
+		}
+		ds[i] = s / float64(hi-lo)
+	}
+	minV, maxV := ds[0], ds[0]
+	for _, v := range ds {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range ds {
+		idx := 0
+		if maxV > minV {
+			idx = int((v - minV) / (maxV - minV) * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}
+
+func secs(s float64) string {
+	return fmt.Sprintf("%.2f", s)
+}
+
+func hms(totalSeconds float64) string {
+	s := int(totalSeconds + 0.5)
+	return fmt.Sprintf("%d:%02d:%02d", s/3600, (s%3600)/60, s%60)
+}

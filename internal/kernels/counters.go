@@ -1,0 +1,142 @@
+package kernels
+
+import "computecovid19/internal/ddnet"
+
+// Counters tallies the global memory traffic and floating-point work of
+// a kernel, with the accounting conventions of the paper's Table 6:
+// every filter tap contributes two loads (input element and weight) and
+// two flops (multiply and add); comparisons are not flops; each output
+// element is one store.
+type Counters struct {
+	Loads  uint64
+	Stores uint64
+	Flops  uint64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.Flops += o.Flops
+}
+
+// Bytes returns the total global memory traffic in bytes (float32
+// elements).
+func (c Counters) Bytes() uint64 { return 4 * (c.Loads + c.Stores) }
+
+// ConvCounters returns the Table 6 accounting for a stride-1 "same"
+// convolution.
+func ConvCounters(s ConvShape) Counters {
+	taps := uint64(s.InC) * uint64(s.K) * uint64(s.K)
+	outs := uint64(s.OutC) * uint64(s.H) * uint64(s.W)
+	return Counters{
+		Loads:  outs * taps * 2,
+		Stores: outs,
+		Flops:  outs * taps * 2,
+	}
+}
+
+// DeconvCounters returns the Table 6 accounting for a stride-1 "same"
+// deconvolution (identical totals to the convolution of the same shape;
+// the performance difference is access regularity, not volume).
+func DeconvCounters(s ConvShape) Counters { return ConvCounters(s) }
+
+// PoolCounters returns the Table 6 accounting for 3×3/s2 max pooling of
+// a C×H×W input: nine loads per output, no flops (comparisons are not
+// counted).
+func PoolCounters(c, h, w int) Counters {
+	outs := uint64(c) * uint64(h/2) * uint64(w/2)
+	return Counters{Loads: outs * 9, Stores: outs, Flops: 0}
+}
+
+// UnpoolCounters returns the Table 6 accounting for 2× bilinear
+// un-pooling of a C×H×W input: four loads and fourteen flops per output.
+func UnpoolCounters(c, h, w int) Counters {
+	outs := uint64(c) * uint64(2*h) * uint64(2*w)
+	return Counters{Loads: outs * 4, Stores: outs, Flops: outs * 14}
+}
+
+// LeakyReLUCounters returns one load, one store, one flop per element.
+func LeakyReLUCounters(n int) Counters {
+	return Counters{Loads: uint64(n), Stores: uint64(n), Flops: uint64(n)}
+}
+
+// BatchNormCounters returns five loads (x, γ, β, μ, σ²) and five flops
+// per element, one store.
+func BatchNormCounters(n int) Counters {
+	return Counters{Loads: uint64(n) * 5, Stores: uint64(n), Flops: uint64(n) * 5}
+}
+
+// ClassCounts groups DDnet's operation counts the way Tables 4, 5 and 7
+// report runtimes: the convolution kernel, the deconvolution kernel, and
+// everything else (pooling, un-pooling, batch norm, activation).
+type ClassCounts struct {
+	Conv, Deconv, Other Counters
+}
+
+// Total returns the sum over classes.
+func (c ClassCounts) Total() Counters {
+	t := c.Conv
+	t.Add(c.Deconv)
+	t.Add(c.Other)
+	return t
+}
+
+// DDnetCounts walks a DDnet architecture at the given input size and
+// accumulates the analytic operation counts per kernel class. Every
+// convolution and deconvolution is followed by batch normalization and
+// leaky ReLU (counted under Other), matching the network definition.
+func DDnetCounts(cfg ddnet.Config, size int) ClassCounts {
+	var cc ClassCounts
+	addBNAct := func(c, h, w int) {
+		n := c * h * w
+		cc.Other.Add(BatchNormCounters(n))
+		cc.Other.Add(LeakyReLUCounters(n))
+	}
+	f := cfg.BaseChannels
+	g := cfg.Growth
+	blockOut := f + cfg.DenseLayers*g
+	h := size
+
+	// Stem: 7×7 conv, BN, act.
+	cc.Conv.Add(ConvCounters(ConvShape{InC: 1, H: h, W: h, OutC: f, K: 7}))
+	addBNAct(f, h, h)
+
+	for s := 0; s < cfg.Stages; s++ {
+		// Pool halves the resolution.
+		cc.Other.Add(PoolCounters(f, h, h))
+		h /= 2
+		// Dense block: per layer, BN+act+1×1 bottleneck then BN+act+K×K.
+		ch := f
+		for l := 0; l < cfg.DenseLayers; l++ {
+			addBNAct(ch, h, h)
+			cc.Conv.Add(ConvCounters(ConvShape{InC: ch, H: h, W: h, OutC: 4 * g, K: 1}))
+			addBNAct(4*g, h, h)
+			cc.Conv.Add(ConvCounters(ConvShape{InC: 4 * g, H: h, W: h, OutC: g, K: cfg.Kernel}))
+			ch += g
+		}
+		// Transition 1×1 conv + BN + act.
+		cc.Conv.Add(ConvCounters(ConvShape{InC: blockOut, H: h, W: h, OutC: f, K: 1}))
+		addBNAct(f, h, h)
+	}
+
+	for s := 0; s < cfg.Stages; s++ {
+		cc.Other.Add(UnpoolCounters(f, h, h))
+		h *= 2
+		skipCh := blockOut
+		if s == cfg.Stages-1 {
+			skipCh = f
+		}
+		cc.Deconv.Add(DeconvCounters(ConvShape{InC: f + skipCh, H: h, W: h, OutC: 2 * f, K: cfg.Kernel}))
+		addBNAct(2*f, h, h)
+		outCh := f
+		if s == cfg.Stages-1 {
+			outCh = 1
+		}
+		cc.Deconv.Add(DeconvCounters(ConvShape{InC: 2 * f, H: h, W: h, OutC: outCh, K: 1}))
+		if s != cfg.Stages-1 {
+			addBNAct(outCh, h, h)
+		}
+	}
+	return cc
+}

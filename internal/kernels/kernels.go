@@ -1,0 +1,64 @@
+// Package kernels reimplements the paper's OpenCL inference kernels
+// (§4.2) as plain Go functions over flat CHW float32 buffers: the six
+// operations DDnet inference needs — convolution, deconvolution, max
+// pooling, bilinear un-pooling, batch normalization, and leaky ReLU —
+// each in the optimization variants of Table 7:
+//
+//	Baseline   naive loops; the deconvolution uses the scatter
+//	           formulation with per-tap integer divisions and recurring
+//	           global read-modify-writes
+//	REF        the §4.2.1 refactoring: deconvolution gathers input
+//	           contributions per output element (inverse coefficient
+//	           mapping), accumulating in a register
+//	PF         §4.2.2 memory prefetching: loop bounds and filter taps
+//	           hoisted into locals before the hot loop
+//	LU         §4.2.2 loop unrolling: the multiply-add loop unrolled by
+//	           the filter width (fully unrolled for k ≤ 5)
+//
+// The package also provides the analytic operation counters behind
+// Table 6 (global loads, stores, floating-point operations), validated
+// against instrumented kernels in the tests.
+package kernels
+
+// Variant is an optimization level from Table 7.
+type Variant int
+
+// Optimization ladder (cumulative, matching the Table 7 columns).
+const (
+	Baseline Variant = iota
+	REF
+	REFPF
+	REFPFLU
+)
+
+// String names the variant as Table 7 does.
+func (v Variant) String() string {
+	switch v {
+	case Baseline:
+		return "Baseline"
+	case REF:
+		return "Baseline + REF"
+	case REFPF:
+		return "Baseline + REF + PF"
+	case REFPFLU:
+		return "Baseline + REF + PF + LU"
+	default:
+		return "Unknown"
+	}
+}
+
+// ConvShape describes a stride-1 "same" convolution or deconvolution
+// layer on a CHW buffer: InC input channels of H×W, OutC outputs, odd
+// square kernel K with padding K/2.
+type ConvShape struct {
+	InC, H, W, OutC, K int
+}
+
+// InLen returns the input buffer length.
+func (s ConvShape) InLen() int { return s.InC * s.H * s.W }
+
+// OutLen returns the output buffer length.
+func (s ConvShape) OutLen() int { return s.OutC * s.H * s.W }
+
+// WeightLen returns the weight buffer length (OutC·InC·K·K).
+func (s ConvShape) WeightLen() int { return s.OutC * s.InC * s.K * s.K }

@@ -1,0 +1,158 @@
+package kernels
+
+import (
+	"math/rand"
+	"time"
+
+	"computecovid19/internal/ddnet"
+)
+
+// Timing is the per-kernel-class wall time of one DDnet inference, the
+// split Table 5 reports.
+type Timing struct {
+	Conv, Deconv, Other time.Duration
+}
+
+// Total returns the end-to-end inference time.
+func (t Timing) Total() time.Duration { return t.Conv + t.Deconv + t.Other }
+
+// Add accumulates o into t.
+func (t *Timing) Add(o Timing) {
+	t.Conv += o.Conv
+	t.Deconv += o.Deconv
+	t.Other += o.Other
+}
+
+// Scale multiplies every component by f.
+func (t Timing) Scale(f float64) Timing {
+	return Timing{
+		Conv:   time.Duration(float64(t.Conv) * f),
+		Deconv: time.Duration(float64(t.Deconv) * f),
+		Other:  time.Duration(float64(t.Other) * f),
+	}
+}
+
+// RunDDnetInference executes the full DDnet inference kernel sequence
+// (stem, dense blocks with transitions and pools, un-pooling decoder
+// with global shortcuts) on a size×size image using the given
+// optimization variant, and returns the measured per-class wall time.
+// This is the CPU "OpenCL runtime" measurement feeding Tables 4, 5
+// and 7; weights are random, as only the data movement and arithmetic
+// are being measured.
+func RunDDnetInference(cfg ddnet.Config, size int, v Variant, workers int, rng *rand.Rand) Timing {
+	var t Timing
+	f := cfg.BaseChannels
+	g := cfg.Growth
+	blockOut := f + cfg.DenseLayers*g
+	h := size
+
+	randBuf := func(n int) []float32 {
+		b := make([]float32, n)
+		for i := range b {
+			b[i] = rng.Float32() - 0.5
+		}
+		return b
+	}
+	timeIt := func(class *time.Duration, fn func()) {
+		start := time.Now()
+		fn()
+		*class += time.Since(start)
+	}
+	bnAct := func(x []float32, c, hh int) {
+		gamma := randBuf(c)
+		beta := randBuf(c)
+		mean := randBuf(c)
+		variance := make([]float32, c)
+		for i := range variance {
+			variance[i] = 1 + rng.Float32()
+		}
+		timeIt(&t.Other, func() {
+			BatchNormInfer(x, c, hh, hh, gamma, beta, mean, variance, 1e-5, workers)
+			LeakyReLU(x, 0.01, workers)
+		})
+	}
+
+	// Stem.
+	x := randBuf(size * size)
+	cur := make([]float32, f*h*h)
+	{
+		s := ConvShape{InC: 1, H: h, W: h, OutC: f, K: 7}
+		w := randBuf(s.WeightLen())
+		timeIt(&t.Conv, func() { Conv(v, x, w, cur, s, workers) })
+		bnAct(cur, f, h)
+	}
+
+	skips := [][]float32{append([]float32(nil), cur...)} // stem skip
+	skipCh := []int{f}
+	skipH := []int{h}
+
+	for st := 0; st < cfg.Stages; st++ {
+		pooled := make([]float32, f*(h/2)*(h/2))
+		timeIt(&t.Other, func() { MaxPool(cur, pooled, f, h, h, workers) })
+		h /= 2
+
+		// Dense block: features grow from f to blockOut channels.
+		features := make([]float32, blockOut*h*h)
+		copy(features, pooled)
+		ch := f
+		for l := 0; l < cfg.DenseLayers; l++ {
+			in := append([]float32(nil), features[:ch*h*h]...)
+			bnAct(in, ch, h)
+			s1 := ConvShape{InC: ch, H: h, W: h, OutC: 4 * g, K: 1}
+			mid := make([]float32, s1.OutLen())
+			w1 := randBuf(s1.WeightLen())
+			timeIt(&t.Conv, func() { Conv(v, in, w1, mid, s1, workers) })
+			bnAct(mid, 4*g, h)
+			s2 := ConvShape{InC: 4 * g, H: h, W: h, OutC: g, K: cfg.Kernel}
+			grow := features[ch*h*h : (ch+g)*h*h]
+			w2 := randBuf(s2.WeightLen())
+			timeIt(&t.Conv, func() { Conv(v, mid, w2, grow, s2, workers) })
+			ch += g
+		}
+		if st < cfg.Stages-1 {
+			skips = append(skips, append([]float32(nil), features...))
+			skipCh = append(skipCh, blockOut)
+			skipH = append(skipH, h)
+		}
+
+		// Transition 1×1.
+		s := ConvShape{InC: blockOut, H: h, W: h, OutC: f, K: 1}
+		cur = make([]float32, s.OutLen())
+		w := randBuf(s.WeightLen())
+		timeIt(&t.Conv, func() { Conv(v, features, w, cur, s, workers) })
+		bnAct(cur, f, h)
+	}
+
+	for st := 0; st < cfg.Stages; st++ {
+		up := make([]float32, f*(2*h)*(2*h))
+		timeIt(&t.Other, func() { Unpool(cur, up, f, h, h, workers) })
+		h *= 2
+
+		skip := skips[len(skips)-1-st]
+		sc := skipCh[len(skipCh)-1-st]
+		if skipH[len(skipH)-1-st] != h {
+			panic("kernels: decoder/skip resolution mismatch")
+		}
+		cat := make([]float32, (f+sc)*h*h)
+		timeIt(&t.Other, func() { Concat(up, skip, cat) })
+
+		sA := ConvShape{InC: f + sc, H: h, W: h, OutC: 2 * f, K: cfg.Kernel}
+		bufA := make([]float32, sA.OutLen())
+		wA := randBuf(sA.WeightLen())
+		timeIt(&t.Deconv, func() { Deconv(v, cat, wA, bufA, sA, workers) })
+		bnAct(bufA, 2*f, h)
+
+		outCh := f
+		if st == cfg.Stages-1 {
+			outCh = 1
+		}
+		sB := ConvShape{InC: 2 * f, H: h, W: h, OutC: outCh, K: 1}
+		cur = make([]float32, sB.OutLen())
+		wB := randBuf(sB.WeightLen())
+		timeIt(&t.Deconv, func() { Deconv(v, bufA, wB, cur, sB, workers) })
+		if st != cfg.Stages-1 {
+			bnAct(cur, outCh, h)
+		}
+	}
+	return t
+}

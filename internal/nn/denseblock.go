@@ -1,0 +1,225 @@
+package nn
+
+import (
+	"math/rand"
+
+	"computecovid19/internal/ag"
+	"computecovid19/internal/tensor"
+)
+
+// DenseLayer2D is one densely connected layer of a DDnet dense block:
+// BN → LeakyReLU → 1×1 conv (bottleneck) → BN → LeakyReLU → k×k conv
+// producing `growth` feature maps. Its input is the channel-concatenation
+// of the block input and every previous layer's output (the paper's
+// "local shortcut connections", §2.2.1).
+type DenseLayer2D struct {
+	BN1   *BatchNorm
+	Conv1 *Conv2D // 1x1 bottleneck
+	BN2   *BatchNorm
+	Conv2 *Conv2D // kxk growth conv
+	Slope float32
+}
+
+// NewDenseLayer2D builds one dense layer taking inCh channels and
+// emitting growth channels through a bottleneck of width bottleneck.
+func NewDenseLayer2D(rng *rand.Rand, inCh, bottleneck, growth, kernel int, std float64) *DenseLayer2D {
+	return &DenseLayer2D{
+		BN1:   NewBatchNorm(inCh),
+		Conv1: NewConv2D(rng, inCh, bottleneck, 1, 1, 0, false, std),
+		BN2:   NewBatchNorm(bottleneck),
+		Conv2: NewConv2D(rng, bottleneck, growth, kernel, 1, kernel/2, false, std),
+		Slope: 0.01,
+	}
+}
+
+// Forward applies BN→act→1×1→BN→act→k×k.
+func (l *DenseLayer2D) Forward(x *ag.Value) *ag.Value {
+	h := ag.LeakyReLU(l.BN1.Forward(x), l.Slope)
+	h = l.Conv1.Forward(h)
+	h = ag.LeakyReLU(l.BN2.Forward(h), l.Slope)
+	return l.Conv2.Forward(h)
+}
+
+// Params returns the trainable parameters of all sublayers.
+func (l *DenseLayer2D) Params() []*ag.Value {
+	ps := l.BN1.Params()
+	ps = append(ps, l.Conv1.Params()...)
+	ps = append(ps, l.BN2.Params()...)
+	ps = append(ps, l.Conv2.Params()...)
+	return ps
+}
+
+// SetTraining propagates the mode to the batch norms.
+func (l *DenseLayer2D) SetTraining(train bool) {
+	l.BN1.SetTraining(train)
+	l.BN2.SetTraining(train)
+}
+
+func (l *DenseLayer2D) stateTensors() []*tensor.Tensor {
+	return append(l.BN1.stateTensors(), l.BN2.stateTensors()...)
+}
+
+// DenseBlock2D is the paper's dense block (Figure 7): `layers` densely
+// connected DenseLayer2Ds. The output concatenates the block input with
+// every layer output, so the channel count grows from inCh to
+// inCh + layers·growth (16 → 80 in Table 2).
+type DenseBlock2D struct {
+	Layers []*DenseLayer2D
+}
+
+// NewDenseBlock2D builds a dense block. DDnet uses layers=4, growth=16,
+// kernel=5 and a bottleneck equal to 4·growth.
+func NewDenseBlock2D(rng *rand.Rand, inCh, growth, layers, kernel int, std float64) *DenseBlock2D {
+	b := &DenseBlock2D{}
+	ch := inCh
+	for i := 0; i < layers; i++ {
+		b.Layers = append(b.Layers, NewDenseLayer2D(rng, ch, 4*growth, growth, kernel, std))
+		ch += growth
+	}
+	return b
+}
+
+// OutChannels reports the channel count of the block output given inCh
+// input channels.
+func (b *DenseBlock2D) OutChannels(inCh int) int {
+	return inCh + len(b.Layers)*growthOf2D(b)
+}
+
+func growthOf2D(b *DenseBlock2D) int {
+	if len(b.Layers) == 0 {
+		return 0
+	}
+	return b.Layers[0].Conv2.W.T.Shape[0]
+}
+
+// Forward runs the dense connectivity pattern: each layer sees the
+// concatenation of everything before it.
+func (b *DenseBlock2D) Forward(x *ag.Value) *ag.Value {
+	features := []*ag.Value{x}
+	for _, l := range b.Layers {
+		in := ag.Concat(1, features...)
+		features = append(features, l.Forward(in))
+	}
+	return ag.Concat(1, features...)
+}
+
+// Params returns the parameters of every dense layer.
+func (b *DenseBlock2D) Params() []*ag.Value {
+	var ps []*ag.Value
+	for _, l := range b.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// SetTraining propagates the mode to every dense layer.
+func (b *DenseBlock2D) SetTraining(train bool) {
+	for _, l := range b.Layers {
+		l.SetTraining(train)
+	}
+}
+
+func (b *DenseBlock2D) stateTensors() []*tensor.Tensor {
+	var ts []*tensor.Tensor
+	for _, l := range b.Layers {
+		ts = append(ts, l.stateTensors()...)
+	}
+	return ts
+}
+
+// DenseLayer3D is the volumetric analogue of DenseLayer2D, used by the
+// 3D DenseNet classifier (§2.3.2).
+type DenseLayer3D struct {
+	BN1   *BatchNorm
+	Conv1 *Conv3D
+	BN2   *BatchNorm
+	Conv2 *Conv3D
+}
+
+// NewDenseLayer3D builds one 3D dense layer (1×1×1 bottleneck then k³
+// growth conv).
+func NewDenseLayer3D(rng *rand.Rand, inCh, bottleneck, growth, kernel int, std float64) *DenseLayer3D {
+	return &DenseLayer3D{
+		BN1:   NewBatchNorm(inCh),
+		Conv1: NewConv3D(rng, inCh, bottleneck, 1, 1, 0, false, std),
+		BN2:   NewBatchNorm(bottleneck),
+		Conv2: NewConv3D(rng, bottleneck, growth, kernel, 1, kernel/2, false, std),
+	}
+}
+
+// Forward applies BN→ReLU→1³→BN→ReLU→k³.
+func (l *DenseLayer3D) Forward(x *ag.Value) *ag.Value {
+	h := ag.ReLU(l.BN1.Forward(x))
+	h = l.Conv1.Forward(h)
+	h = ag.ReLU(l.BN2.Forward(h))
+	return l.Conv2.Forward(h)
+}
+
+// Params returns the trainable parameters of all sublayers.
+func (l *DenseLayer3D) Params() []*ag.Value {
+	ps := l.BN1.Params()
+	ps = append(ps, l.Conv1.Params()...)
+	ps = append(ps, l.BN2.Params()...)
+	ps = append(ps, l.Conv2.Params()...)
+	return ps
+}
+
+// SetTraining propagates the mode to the batch norms.
+func (l *DenseLayer3D) SetTraining(train bool) {
+	l.BN1.SetTraining(train)
+	l.BN2.SetTraining(train)
+}
+
+func (l *DenseLayer3D) stateTensors() []*tensor.Tensor {
+	return append(l.BN1.stateTensors(), l.BN2.stateTensors()...)
+}
+
+// DenseBlock3D is a densely connected block over 3D feature volumes.
+type DenseBlock3D struct {
+	Layers []*DenseLayer3D
+}
+
+// NewDenseBlock3D builds a 3D dense block with the given growth rate.
+func NewDenseBlock3D(rng *rand.Rand, inCh, growth, layers, kernel int, std float64) *DenseBlock3D {
+	b := &DenseBlock3D{}
+	ch := inCh
+	for i := 0; i < layers; i++ {
+		b.Layers = append(b.Layers, NewDenseLayer3D(rng, ch, 4*growth, growth, kernel, std))
+		ch += growth
+	}
+	return b
+}
+
+// Forward runs the dense connectivity pattern in 3D.
+func (b *DenseBlock3D) Forward(x *ag.Value) *ag.Value {
+	features := []*ag.Value{x}
+	for _, l := range b.Layers {
+		in := ag.Concat(1, features...)
+		features = append(features, l.Forward(in))
+	}
+	return ag.Concat(1, features...)
+}
+
+// Params returns the parameters of every dense layer.
+func (b *DenseBlock3D) Params() []*ag.Value {
+	var ps []*ag.Value
+	for _, l := range b.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// SetTraining propagates the mode to every dense layer.
+func (b *DenseBlock3D) SetTraining(train bool) {
+	for _, l := range b.Layers {
+		l.SetTraining(train)
+	}
+}
+
+func (b *DenseBlock3D) stateTensors() []*tensor.Tensor {
+	var ts []*tensor.Tensor
+	for _, l := range b.Layers {
+		ts = append(ts, l.stateTensors()...)
+	}
+	return ts
+}

@@ -1,0 +1,248 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"computecovid19/internal/ag"
+	"computecovid19/internal/tensor"
+)
+
+func TestConv2DLayerShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewConv2D(rng, 3, 8, 5, 1, 2, true, 0.01)
+	x := ag.Const(tensor.New(2, 3, 12, 12))
+	y := l.Forward(x)
+	want := []int{2, 8, 12, 12}
+	for i, d := range want {
+		if y.T.Shape[i] != d {
+			t.Fatalf("conv layer out shape %v, want %v", y.T.Shape, want)
+		}
+	}
+	if len(l.Params()) != 2 {
+		t.Fatalf("conv with bias has %d params, want 2", len(l.Params()))
+	}
+}
+
+func TestSequentialComposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewSequential(
+		NewConv2D(rng, 1, 4, 3, 1, 1, true, 0.1),
+		LeakyReLU(0.01),
+		MaxPool2D(3, 2, 1),
+		NewConv2D(rng, 4, 2, 1, 1, 0, true, 0.1),
+	)
+	x := ag.Const(tensor.New(1, 1, 8, 8).RandN(rng, 0, 1))
+	y := net.Forward(x)
+	want := []int{1, 2, 4, 4}
+	for i, d := range want {
+		if y.T.Shape[i] != d {
+			t.Fatalf("sequential out shape %v, want %v", y.T.Shape, want)
+		}
+	}
+	if got := len(net.Params()); got != 4 {
+		t.Fatalf("sequential params = %d, want 4", got)
+	}
+}
+
+func TestDenseBlock2DChannelGrowth(t *testing.T) {
+	// Table 2: dense block maps 16 channels to 80 (4 layers × growth 16).
+	rng := rand.New(rand.NewSource(3))
+	b := NewDenseBlock2D(rng, 16, 16, 4, 5, 0.1)
+	x := ag.Const(tensor.New(1, 16, 8, 8).RandN(rng, 0, 1))
+	y := b.Forward(x)
+	if y.T.Shape[1] != 80 {
+		t.Fatalf("dense block output channels = %d, want 80", y.T.Shape[1])
+	}
+	if y.T.Shape[2] != 8 || y.T.Shape[3] != 8 {
+		t.Fatalf("dense block must preserve spatial dims, got %v", y.T.Shape)
+	}
+	if b.OutChannels(16) != 80 {
+		t.Fatalf("OutChannels(16) = %d, want 80", b.OutChannels(16))
+	}
+}
+
+func TestDenseBlock3DChannelGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := NewDenseBlock3D(rng, 4, 2, 3, 3, 0.1)
+	x := ag.Const(tensor.New(1, 4, 4, 4, 4).RandN(rng, 0, 1))
+	y := b.Forward(x)
+	if y.T.Shape[1] != 10 {
+		t.Fatalf("3D dense block output channels = %d, want 10", y.T.Shape[1])
+	}
+}
+
+func TestSGDReducesLoss(t *testing.T) {
+	// Fit y = 2x with a single linear layer.
+	rng := rand.New(rand.NewSource(5))
+	l := NewLinear(rng, 1, 1, 0.1)
+	opt := NewSGD(l.Params(), 0.1, 0.9)
+	x := ag.Const(tensor.FromSlice([]float32{1, 2, 3, 4}, 4, 1))
+	y := ag.Const(tensor.FromSlice([]float32{2, 4, 6, 8}, 4, 1))
+	var first, last float64
+	for i := 0; i < 200; i++ {
+		opt.ZeroGrad()
+		loss := ag.MSELoss(l.Forward(x), y)
+		loss.Backward()
+		opt.Step()
+		if i == 0 {
+			first = float64(loss.Scalar())
+		}
+		last = float64(loss.Scalar())
+	}
+	if last >= first/100 {
+		t.Fatalf("SGD did not converge: first %v, last %v", first, last)
+	}
+	if math.Abs(float64(l.W.T.Data[0])-2) > 0.05 {
+		t.Fatalf("fitted slope = %v, want ~2", l.W.T.Data[0])
+	}
+}
+
+func TestAdamReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := NewSequential(
+		NewLinear(rng, 2, 8, 0.5),
+		&Func{F: ag.Tanh},
+		NewLinear(rng, 8, 1, 0.5),
+	)
+	opt := NewAdam(net.Params(), 0.05)
+	// XOR-ish regression task.
+	x := ag.Const(tensor.FromSlice([]float32{0, 0, 0, 1, 1, 0, 1, 1}, 4, 2))
+	y := ag.Const(tensor.FromSlice([]float32{0, 1, 1, 0}, 4, 1))
+	var first, last float64
+	for i := 0; i < 300; i++ {
+		opt.ZeroGrad()
+		loss := ag.MSELoss(net.Forward(x), y)
+		loss.Backward()
+		opt.Step()
+		if i == 0 {
+			first = float64(loss.Scalar())
+		}
+		last = float64(loss.Scalar())
+	}
+	if last > first/10 || last > 0.05 {
+		t.Fatalf("Adam did not fit XOR: first %v, last %v", first, last)
+	}
+}
+
+func TestExponentialLRDecay(t *testing.T) {
+	opt := NewSGD(nil, 1e-4, 0)
+	sched := NewExponentialLR(opt, 0.8)
+	for i := 0; i < 3; i++ {
+		sched.StepEpoch()
+	}
+	want := 1e-4 * 0.8 * 0.8 * 0.8
+	if math.Abs(opt.LR()-want) > 1e-12 {
+		t.Fatalf("LR after 3 epochs = %v, want %v", opt.LR(), want)
+	}
+}
+
+func TestGradNormAndClip(t *testing.T) {
+	p := ag.Param(tensor.FromSlice([]float32{1, 1}, 2))
+	ag.Sum(ag.MulConst(p, 3)).Backward()
+	norm := GradNorm([]*ag.Value{p})
+	want := math.Sqrt(18)
+	if math.Abs(norm-want) > 1e-6 {
+		t.Fatalf("GradNorm = %v, want %v", norm, want)
+	}
+	pre := ClipGradNorm([]*ag.Value{p}, 1.0)
+	if math.Abs(pre-want) > 1e-6 {
+		t.Fatalf("ClipGradNorm returned %v, want %v", pre, want)
+	}
+	if post := GradNorm([]*ag.Value{p}); math.Abs(post-1) > 1e-5 {
+		t.Fatalf("post-clip norm = %v, want 1", post)
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := NewConv2D(rng, 2, 4, 3, 1, 1, true, 0.1)
+	if got := NumParams(l.Params()); got != 4*2*3*3+4 {
+		t.Fatalf("NumParams = %d, want %d", got, 4*2*3*3+4)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	build := func() Module {
+		r := rand.New(rand.NewSource(99))
+		return NewSequential(
+			NewConv2D(r, 1, 4, 3, 1, 1, true, 0.1),
+			NewBatchNorm(4),
+			LeakyReLU(0.01),
+			NewConv2D(r, 4, 1, 3, 1, 1, true, 0.1),
+		)
+	}
+	src := build()
+	// Mutate parameters and batch-norm state so defaults don't mask bugs.
+	for _, p := range src.Params() {
+		p.T.RandN(rng, 0, 1)
+	}
+	x := ag.Const(tensor.New(2, 1, 6, 6).RandN(rng, 0, 1))
+	src.Forward(x) // updates running stats in training mode
+
+	var buf bytes.Buffer
+	if err := SaveModule(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := build()
+	if err := LoadModule(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	src.SetTraining(false)
+	dst.SetTraining(false)
+	y1 := src.Forward(x)
+	y2 := dst.Forward(x)
+	if !y1.T.AllClose(y2.T, 1e-6) {
+		t.Fatal("save/load round trip changed the module output")
+	}
+}
+
+func TestLoadRejectsWrongArchitecture(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := NewConv2D(rng, 1, 2, 3, 1, 1, true, 0.1)
+	var buf bytes.Buffer
+	if err := SaveModule(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewConv2D(rng, 1, 3, 3, 1, 1, true, 0.1) // different out channels
+	if err := LoadModule(&buf, dst); err == nil {
+		t.Fatal("expected error loading into mismatched architecture")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	src := NewLinear(rng, 3, 2, 0.5)
+	path := t.TempDir() + "/model.cc19"
+	if err := SaveModuleFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewLinear(rand.New(rand.NewSource(11)), 3, 2, 0.5)
+	if err := LoadModuleFile(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !src.W.T.AllClose(dst.W.T, 0) {
+		t.Fatal("file round trip changed weights")
+	}
+}
+
+func TestBatchNormLayerModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	bn := NewBatchNorm(2)
+	x := ag.Const(tensor.New(4, 2, 3, 3).RandN(rng, 10, 2))
+	bn.SetTraining(true)
+	yTrain := bn.Forward(x)
+	if math.Abs(yTrain.T.Mean()) > 1e-3 {
+		t.Fatalf("training-mode BN mean = %v, want ~0", yTrain.T.Mean())
+	}
+	bn.SetTraining(false)
+	yEval := bn.Forward(x)
+	// Eval uses running stats (after a single momentum-0.1 update they are
+	// still far from batch stats), so outputs must differ.
+	if yTrain.T.AllClose(yEval.T, 1e-3) {
+		t.Fatal("eval output should differ from training output after one update")
+	}
+}

@@ -1,0 +1,130 @@
+// Package parallel provides the work-distribution primitives used by every
+// compute-heavy loop in the repository: a bounded worker pool and
+// grain-controlled parallel-for helpers.
+//
+// The package mirrors the role the OpenCL runtime plays in the paper's
+// inference stack: callers express data-parallel iteration spaces and the
+// pool maps them onto OS threads. Workers default to GOMAXPROCS but can be
+// overridden per call, which the benchmark harness uses to emulate
+// platforms with different core counts.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers reports the worker count used when a caller passes
+// workers <= 0: the current GOMAXPROCS setting.
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For splits the half-open index range [0, n) into contiguous chunks and
+// runs fn on each chunk from its own goroutine. fn receives the chunk
+// bounds [lo, hi). When workers <= 0 the pool uses DefaultWorkers.
+// For n == 0 it returns immediately; when only one worker is useful the
+// call runs inline with no goroutine overhead.
+func For(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn once per index in [0, n), distributing indices across
+// the pool in contiguous chunks. It is a convenience wrapper over For for
+// loop bodies that do not benefit from seeing their chunk bounds.
+func ForEach(n, workers int, fn func(i int)) {
+	For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Map applies fn to every index in [0, n) and collects the results in
+// order. It allocates the result slice once and lets workers write
+// disjoint regions, so no locking is required.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = fn(i)
+		}
+	})
+	return out
+}
+
+// Reduce computes a parallel reduction over [0, n). Each worker folds its
+// chunk with fold starting from zero, and the per-chunk partials are
+// combined serially with merge. fold and merge must be associative for
+// the result to be deterministic; for float32/float64 sums the result can
+// differ from a serial loop only by rounding.
+func Reduce[T any](n, workers int, zero T, fold func(acc T, i int) T, merge func(a, b T) T) T {
+	if n <= 0 {
+		return zero
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		acc := zero
+		for i := 0; i < n; i++ {
+			acc = fold(acc, i)
+		}
+		return acc
+	}
+	chunk := (n + workers - 1) / workers
+	nchunks := (n + chunk - 1) / chunk
+	partial := make([]T, nchunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nchunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			acc := zero
+			for i := lo; i < hi; i++ {
+				acc = fold(acc, i)
+			}
+			partial[c] = acc
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	acc := partial[0]
+	for _, p := range partial[1:] {
+		acc = merge(acc, p)
+	}
+	return acc
+}

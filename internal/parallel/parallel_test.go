@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1023} {
+		for _, w := range []int{0, 1, 2, 5, 64} {
+			hits := make([]int32, n)
+			For(n, w, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachCoversRange(t *testing.T) {
+	var sum int64
+	ForEach(100, 4, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum)
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, 4, func(lo, hi int) { called = true })
+	For(-5, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	out := Map(50, 7, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	got := Reduce(1000, 8, 0, func(acc, i int) int { return acc + i },
+		func(a, b int) int { return a + b })
+	if got != 499500 {
+		t.Fatalf("Reduce = %d, want 499500", got)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got := Reduce(0, 8, 42, func(acc, i int) int { return acc + i },
+		func(a, b int) int { return a + b })
+	if got != 42 {
+		t.Fatalf("Reduce on empty range = %d, want zero value 42", got)
+	}
+}
+
+// Property: parallel sum equals serial sum for any worker count.
+func TestReduceMatchesSerialProperty(t *testing.T) {
+	f := func(vals []int16, workers uint8) bool {
+		w := int(workers%16) + 1
+		want := 0
+		for _, v := range vals {
+			want += int(v)
+		}
+		got := Reduce(len(vals), w, 0,
+			func(acc, i int) int { return acc + int(vals[i]) },
+			func(a, b int) int { return a + b })
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Map output is index-deterministic regardless of worker count.
+func TestMapDeterministicProperty(t *testing.T) {
+	f := func(n uint8, workers uint8) bool {
+		size := int(n)
+		w := int(workers%8) + 1
+		a := Map(size, 1, func(i int) int { return 3*i + 1 })
+		b := Map(size, w, func(i int) int { return 3*i + 1 })
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		For(1024, 4, func(lo, hi int) {
+			s := 0
+			for j := lo; j < hi; j++ {
+				s += j
+			}
+			_ = s
+		})
+	}
+}

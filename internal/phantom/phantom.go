@@ -1,0 +1,303 @@
+// Package phantom generates procedural chest CT phantoms in Hounsfield
+// units. It substitutes for the paper's clinical data sources (Mayo,
+// BIMCV, MIDRC, LIDC — Table 1): anatomy is modelled with rotated
+// ellipsoids (body, lungs, heart, spine, airway) plus smooth value-noise
+// texture, and COVID-19 findings are injected as the radiological
+// abnormalities Figure 1 of the paper illustrates — ground-glass
+// opacities (GGO), consolidations, and crazy-paving-like texture.
+//
+// Everything is deterministic given the caller's *rand.Rand, so datasets
+// are reproducible.
+package phantom
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Tissue HU values used by the phantom (standard radiology numbers).
+const (
+	HUAir          = -1000.0
+	HULung         = -820.0
+	HUSoftTissue   = 40.0
+	HUHeart        = 35.0
+	HUBone         = 500.0
+	HUAirway       = -990.0
+	HUGGODelta     = 450.0 // raises lung toward ≈ -370 (ground-glass)
+	HUConsolDelta  = 820.0 // raises lung toward ≈ 0 (consolidation)
+	textureAmplHU  = 18.0
+	textureCellPix = 7
+)
+
+// ellipsoid is a rotated (about z) solid with value painted over what is
+// below it.
+type ellipsoid struct {
+	cx, cy, cz float64 // center, mm (cz relative to volume center)
+	rx, ry, rz float64 // semi-axes, mm
+	angle      float64 // rotation in the axial plane, radians
+	hu         float64
+}
+
+func (e ellipsoid) contains(x, y, z float64) bool {
+	ca, sa := math.Cos(e.angle), math.Sin(e.angle)
+	xr := (x-e.cx)*ca + (y-e.cy)*sa
+	yr := -(x-e.cx)*sa + (y-e.cy)*ca
+	zr := z - e.cz
+	return xr*xr/(e.rx*e.rx)+yr*yr/(e.ry*e.ry)+zr*zr/(e.rz*e.rz) <= 1
+}
+
+// LesionKind distinguishes the radiological abnormalities of Figure 1.
+type LesionKind int
+
+const (
+	// GGO is a ground-glass opacity: hazy density increase.
+	GGO LesionKind = iota
+	// Consolidation is a dense opacity approaching soft-tissue HU.
+	Consolidation
+	// CrazyPaving is GGO with superimposed high-frequency septal
+	// thickening texture.
+	CrazyPaving
+)
+
+// String names the lesion kind.
+func (k LesionKind) String() string {
+	switch k {
+	case GGO:
+		return "ground-glass opacity"
+	case Consolidation:
+		return "consolidation"
+	case CrazyPaving:
+		return "crazy paving"
+	default:
+		return "unknown"
+	}
+}
+
+// Lesion is one COVID-like finding placed inside a lung.
+type Lesion struct {
+	Kind       LesionKind
+	CX, CY, CZ float64 // center, mm
+	RX, RY, RZ float64 // semi-axes, mm
+}
+
+// deltaHU returns the peak HU elevation of the lesion.
+func (l Lesion) deltaHU() float64 {
+	switch l.Kind {
+	case Consolidation:
+		return HUConsolDelta
+	default:
+		return HUGGODelta
+	}
+}
+
+// Chest is a procedural 3D chest phantom. Coordinates are millimetres
+// with the isocenter at the volume center; the axial plane is x (right)
+// × y (anterior), z runs along the patient axis.
+type Chest struct {
+	// Size is the axial resolution in pixels (Size × Size per slice).
+	Size int
+	// Depth is the number of axial slices.
+	Depth int
+	// FOV is the axial field of view in mm.
+	FOV float64
+	// SliceThickness is the z spacing in mm.
+	SliceThickness float64
+	// Lesions are the injected findings; empty means a healthy phantom.
+	Lesions []Lesion
+
+	body, lungL, lungR, heart, spine, airway ellipsoid
+	noiseSeed                                int64
+}
+
+// NewChest builds a randomized but anatomically plausible chest phantom.
+// Pass depth 1 for a single axial slice.
+func NewChest(rng *rand.Rand, size, depth int) *Chest {
+	c := &Chest{
+		Size:           size,
+		Depth:          depth,
+		FOV:            360,
+		SliceThickness: 2.5,
+		noiseSeed:      rng.Int63(),
+	}
+	j := func(scale float64) float64 { return 1 + (rng.Float64()-0.5)*2*scale }
+
+	zr := float64(depth) * c.SliceThickness // generous so mid slices are full
+	lungRX := 62 * j(0.08)
+	lungRY := 85 * j(0.08)
+	sep := 72 * j(0.06)
+	// The body is sized from the lung layout so the lungs always stay
+	// enclosed in soft tissue, even at the outermost slices.
+	c.body = ellipsoid{rx: (sep + lungRX) * 1.2, ry: (lungRY + 8) * 1.28, rz: zr * 2, hu: HUSoftTissue}
+	c.lungL = ellipsoid{cx: -sep, cy: 5, rx: lungRX, ry: lungRY, rz: zr * 1.2,
+		angle: 0.12 * j(1), hu: HULung}
+	c.lungR = ellipsoid{cx: sep, cy: 5, rx: lungRX * 1.05, ry: lungRY, rz: zr * 1.2,
+		angle: -0.12 * j(1), hu: HULung}
+	c.heart = ellipsoid{cx: -14 * j(0.3), cy: -28, rx: 42 * j(0.1), ry: 36 * j(0.1),
+		rz: zr, angle: 0.5, hu: HUHeart}
+	c.spine = ellipsoid{cy: -88 * j(0.03), rx: 16, ry: 16, rz: zr * 2, hu: HUBone}
+	c.airway = ellipsoid{cy: 30, rx: 8, ry: 8, rz: zr * 2, hu: HUAirway}
+	return c
+}
+
+// AddRandomLesions places n random COVID-like lesions inside the lungs.
+// severity in (0, 1] scales lesion size; typical values 0.3–1.0.
+func (c *Chest) AddRandomLesions(rng *rand.Rand, n int, severity float64) {
+	if severity <= 0 {
+		severity = 0.5
+	}
+	for i := 0; i < n; i++ {
+		lung := c.lungL
+		if rng.Intn(2) == 1 {
+			lung = c.lungR
+		}
+		// Peripheral and posterior predominance, as COVID-19 shows.
+		r := 0.45 + 0.5*rng.Float64()
+		theta := rng.Float64() * 2 * math.Pi
+		l := Lesion{
+			Kind: LesionKind(rng.Intn(3)),
+			CX:   lung.cx + r*lung.rx*math.Cos(theta)*0.8,
+			CY:   lung.cy + r*lung.ry*math.Sin(theta)*0.8 - 8,
+			CZ:   (rng.Float64() - 0.5) * float64(c.Depth) * c.SliceThickness * 0.7,
+			RX:   (10 + 22*rng.Float64()) * severity,
+			RY:   (10 + 22*rng.Float64()) * severity,
+			RZ:   (8 + 18*rng.Float64()) * severity,
+		}
+		c.Lesions = append(c.Lesions, l)
+	}
+}
+
+// HasLesions reports whether the phantom is a COVID-positive case.
+func (c *Chest) HasLesions() bool { return len(c.Lesions) > 0 }
+
+// PixelSize returns the axial pixel pitch in mm.
+func (c *Chest) PixelSize() float64 { return c.FOV / float64(c.Size) }
+
+// zMM converts a slice index to a physical z coordinate.
+func (c *Chest) zMM(z int) float64 {
+	return (float64(z) + 0.5 - float64(c.Depth)/2) * c.SliceThickness
+}
+
+// SliceHU renders axial slice z as a Size×Size row-major HU image.
+func (c *Chest) SliceHU(z int) []float32 {
+	img := make([]float32, c.Size*c.Size)
+	zmm := c.zMM(z)
+	pix := c.PixelSize()
+	half := float64(c.Size) / 2
+	for row := 0; row < c.Size; row++ {
+		y := (float64(row) + 0.5 - half) * pix
+		for col := 0; col < c.Size; col++ {
+			x := (float64(col) + 0.5 - half) * pix
+			img[row*c.Size+col] = float32(c.huAt(x, y, zmm, row, col, z))
+		}
+	}
+	return img
+}
+
+// VolumeHU renders the whole phantom as Depth row-major slices.
+func (c *Chest) VolumeHU() []float32 {
+	out := make([]float32, 0, c.Depth*c.Size*c.Size)
+	for z := 0; z < c.Depth; z++ {
+		out = append(out, c.SliceHU(z)...)
+	}
+	return out
+}
+
+// LungMask reports, for slice z, which pixels lie inside either lung
+// (before lesions are painted) — the segmentation ground truth.
+func (c *Chest) LungMask(z int) []bool {
+	mask := make([]bool, c.Size*c.Size)
+	zmm := c.zMM(z)
+	pix := c.PixelSize()
+	half := float64(c.Size) / 2
+	for row := 0; row < c.Size; row++ {
+		y := (float64(row) + 0.5 - half) * pix
+		for col := 0; col < c.Size; col++ {
+			x := (float64(col) + 0.5 - half) * pix
+			mask[row*c.Size+col] = c.lungL.contains(x, y, zmm) || c.lungR.contains(x, y, zmm)
+		}
+	}
+	return mask
+}
+
+func (c *Chest) huAt(x, y, z float64, row, col, slice int) float64 {
+	hu := HUAir
+	if !c.body.contains(x, y, z) {
+		return hu
+	}
+	hu = c.body.hu + c.texture(row, col, slice)
+
+	inLung := false
+	if c.lungL.contains(x, y, z) || c.lungR.contains(x, y, z) {
+		hu = HULung + c.texture(row, col, slice)*0.6
+		inLung = true
+	}
+	if !inLung && c.heart.contains(x, y, z) {
+		hu = c.heart.hu + c.texture(row, col, slice)*0.5
+	}
+	if c.spine.contains(x, y, z) {
+		hu = c.spine.hu
+	}
+	if c.airway.contains(x, y, z) {
+		hu = c.airway.hu
+	}
+
+	if inLung {
+		for _, l := range c.Lesions {
+			dx := (x - l.CX) / l.RX
+			dy := (y - l.CY) / l.RY
+			dz := (z - l.CZ) / l.RZ
+			d2 := dx*dx + dy*dy + dz*dz
+			if d2 < 4 {
+				// Smooth Gaussian falloff toward the lesion border.
+				w := math.Exp(-1.5 * d2)
+				delta := l.deltaHU() * w
+				if l.Kind == CrazyPaving {
+					// Superimposed septal-thickening texture.
+					delta *= 0.8 + 0.4*c.highFreqTexture(row, col, slice)
+				}
+				hu += delta
+			}
+		}
+		if hu > HUSoftTissue {
+			hu = HUSoftTissue // consolidation saturates at soft tissue
+		}
+	}
+	return hu
+}
+
+// texture is smooth value noise: random values on a coarse lattice,
+// bilinearly interpolated, amplitude ±textureAmplHU.
+func (c *Chest) texture(row, col, slice int) float64 {
+	cr, fr := row/textureCellPix, float64(row%textureCellPix)/textureCellPix
+	cc, fc := col/textureCellPix, float64(col%textureCellPix)/textureCellPix
+	v00 := c.lattice(cr, cc, slice)
+	v01 := c.lattice(cr, cc+1, slice)
+	v10 := c.lattice(cr+1, cc, slice)
+	v11 := c.lattice(cr+1, cc+1, slice)
+	top := v00 + fc*(v01-v00)
+	bot := v10 + fc*(v11-v10)
+	return (top + fr*(bot-top)) * textureAmplHU
+}
+
+// highFreqTexture is per-pixel hash noise in [0, 1) for crazy-paving
+// septa.
+func (c *Chest) highFreqTexture(row, col, slice int) float64 {
+	return hashUnit(c.noiseSeed, int64(row)*73856093^int64(col)*19349663^int64(slice)*83492791)
+}
+
+// lattice returns a deterministic pseudo-random value in [-1, 1) for a
+// coarse lattice point.
+func (c *Chest) lattice(r, cc, slice int) float64 {
+	return 2*hashUnit(c.noiseSeed, int64(r)*2654435761^int64(cc)*40503^int64(slice)*69069) - 1
+}
+
+// hashUnit maps (seed, key) to [0, 1) via a SplitMix64 round.
+func hashUnit(seed, key int64) float64 {
+	x := uint64(seed) ^ uint64(key)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,204 @@
+package phantom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChestSliceBasicAnatomy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewChest(rng, 64, 1)
+	img := c.SliceHU(0)
+	if len(img) != 64*64 {
+		t.Fatalf("slice has %d pixels, want 4096", len(img))
+	}
+	// Corners are air.
+	if img[0] != HUAir || img[63] != HUAir {
+		t.Fatalf("corners = %v, %v; want air (%v)", img[0], img[63], HUAir)
+	}
+	// A pixel inside a lung should be strongly negative but above air.
+	mask := c.LungMask(0)
+	foundLung := false
+	for i, inLung := range mask {
+		if inLung {
+			foundLung = true
+			if img[i] < -950 || img[i] > -600 {
+				t.Fatalf("lung pixel %d = %v HU, want ≈ %v", i, img[i], HULung)
+			}
+		}
+	}
+	if !foundLung {
+		t.Fatal("no lung pixels in central slice")
+	}
+}
+
+func TestChestDeterministicBySeed(t *testing.T) {
+	a := NewChest(rand.New(rand.NewSource(7)), 32, 4)
+	b := NewChest(rand.New(rand.NewSource(7)), 32, 4)
+	va, vb := a.VolumeHU(), b.VolumeHU()
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("same seed produced different phantoms at %d", i)
+		}
+	}
+	c := NewChest(rand.New(rand.NewSource(8)), 32, 4)
+	diff := false
+	vc := c.VolumeHU()
+	for i := range va {
+		if va[i] != vc[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical phantoms")
+	}
+}
+
+func TestLesionsRaiseLungHU(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	healthy := NewChest(rng, 64, 8)
+	sick := *healthy // same anatomy
+	sick.Lesions = []Lesion{{
+		Kind: GGO,
+		CX:   healthy.lungR.cx, CY: healthy.lungR.cy, CZ: 0,
+		RX: 25, RY: 25, RZ: 20,
+	}}
+	hImg := healthy.SliceHU(4)
+	sImg := sick.SliceHU(4)
+	var raised int
+	for i := range hImg {
+		if sImg[i] > hImg[i]+50 {
+			raised++
+		}
+	}
+	if raised < 10 {
+		t.Fatalf("GGO lesion raised only %d pixels by > 50 HU", raised)
+	}
+	// Lesions must never push lung tissue above soft-tissue density.
+	mask := sick.LungMask(4)
+	for i, v := range sImg {
+		if mask[i] && v > HUSoftTissue+3*textureAmplHU {
+			t.Fatalf("lung pixel %d = %v HU exceeds soft tissue after lesion", i, v)
+		}
+	}
+}
+
+func TestConsolidationDenserThanGGO(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := NewChest(rng, 64, 4)
+	mkMean := func(kind LesionKind) float64 {
+		c := *base
+		c.Lesions = []Lesion{{Kind: kind,
+			CX: base.lungL.cx, CY: base.lungL.cy, CZ: 0, RX: 30, RY: 30, RZ: 30}}
+		img := c.SliceHU(2)
+		mask := c.LungMask(2)
+		var s float64
+		var n int
+		for i, in := range mask {
+			if in {
+				s += float64(img[i])
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	if mkMean(Consolidation) <= mkMean(GGO) {
+		t.Fatal("consolidation should be denser than GGO")
+	}
+}
+
+func TestAddRandomLesionsInsideLungs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewChest(rng, 64, 8)
+	c.AddRandomLesions(rng, 5, 0.8)
+	if len(c.Lesions) != 5 {
+		t.Fatalf("added %d lesions, want 5", len(c.Lesions))
+	}
+	if !c.HasLesions() {
+		t.Fatal("HasLesions should be true")
+	}
+	for i, l := range c.Lesions {
+		// Lesion centers must be roughly within the thorax.
+		if math.Abs(l.CX) > 160 || math.Abs(l.CY) > 120 {
+			t.Fatalf("lesion %d center (%v, %v) outside thorax", i, l.CX, l.CY)
+		}
+		if l.RX <= 0 || l.RY <= 0 || l.RZ <= 0 {
+			t.Fatalf("lesion %d has non-positive radius", i)
+		}
+	}
+}
+
+func TestVolumeShape(t *testing.T) {
+	c := NewChest(rand.New(rand.NewSource(5)), 32, 6)
+	v := c.VolumeHU()
+	if len(v) != 6*32*32 {
+		t.Fatalf("volume has %d voxels, want %d", len(v), 6*32*32)
+	}
+}
+
+func TestLungMaskMatchesAirDensity(t *testing.T) {
+	c := NewChest(rand.New(rand.NewSource(6)), 64, 1)
+	img := c.SliceHU(0)
+	mask := c.LungMask(0)
+	for i, in := range mask {
+		if in && img[i] > -500 {
+			t.Fatalf("masked lung pixel %d has HU %v (airway/lesion-free phantom)", i, img[i])
+		}
+	}
+}
+
+// Property: all HU values stay in the physically sensible range.
+func TestHURangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewChest(rng, 32, 2)
+		c.AddRandomLesions(rng, rng.Intn(4), 0.6)
+		for _, v := range c.VolumeHU() {
+			if v < -1001 || v > 1500 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the phantom is roughly left-right symmetric in lung
+// placement — both lungs exist on opposite sides of the midline.
+func TestTwoLungsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewChest(rng, 64, 1)
+		mask := c.LungMask(0)
+		left, right := 0, 0
+		for row := 0; row < 64; row++ {
+			for col := 0; col < 64; col++ {
+				if mask[row*64+col] {
+					if col < 32 {
+						left++
+					} else {
+						right++
+					}
+				}
+			}
+		}
+		return left > 50 && right > 50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLesionKindString(t *testing.T) {
+	if GGO.String() == "" || Consolidation.String() == "" || CrazyPaving.String() == "" {
+		t.Fatal("lesion kinds must have names")
+	}
+	if LesionKind(99).String() != "unknown" {
+		t.Fatal("unknown kind should say so")
+	}
+}

@@ -1,0 +1,196 @@
+package segment
+
+import (
+	"math/rand"
+
+	"computecovid19/internal/ag"
+	"computecovid19/internal/nn"
+	"computecovid19/internal/tensor"
+	"computecovid19/internal/volume"
+)
+
+// UNet is a small 2D U-Net lung segmenter: the *learned* counterpart of
+// the classical Lungs segmenter, closer in spirit to the AH-Net model
+// the paper uses (AH-Net transfers 2D features into 3D volumes; we train
+// per-slice and stack, which matches how our isotropic phantoms behave).
+// It maps a normalized slice to per-pixel lung logits.
+type UNet struct {
+	Cfg UNetConfig
+
+	encConv []*nn.Conv2D
+	encBN   []*nn.BatchNorm
+	decConv []*nn.Conv2D
+	decBN   []*nn.BatchNorm
+	head    *nn.Conv2D
+}
+
+// UNetConfig sizes the network.
+type UNetConfig struct {
+	// Channels is the width of the first level; deeper levels double it.
+	Channels int
+	// Levels is the number of down/up-sampling levels.
+	Levels int
+	// InitStd is the Gaussian weight-init std.
+	InitStd float64
+}
+
+// DefaultUNet returns a two-level 8-channel network that trains in
+// seconds on phantom slices.
+func DefaultUNet() UNetConfig { return UNetConfig{Channels: 8, Levels: 2, InitStd: 0.05} }
+
+// NewUNet constructs the segmenter.
+func NewUNet(rng *rand.Rand, cfg UNetConfig) *UNet {
+	u := &UNet{Cfg: cfg}
+	in := 1
+	ch := cfg.Channels
+	for l := 0; l < cfg.Levels; l++ {
+		u.encConv = append(u.encConv, nn.NewConv2D(rng, in, ch, 3, 1, 1, false, cfg.InitStd))
+		u.encBN = append(u.encBN, nn.NewBatchNorm(ch))
+		in = ch
+		ch *= 2
+	}
+	// Bottleneck sits at the deepest level's channel width.
+	bottleneck := in
+	// Decoder: upsample, concat skip, conv.
+	for l := cfg.Levels - 1; l >= 0; l-- {
+		skipCh := cfg.Channels << l
+		outCh := skipCh
+		u.decConv = append(u.decConv, nn.NewConv2D(rng, bottleneck+skipCh, outCh, 3, 1, 1, false, cfg.InitStd))
+		u.decBN = append(u.decBN, nn.NewBatchNorm(outCh))
+		bottleneck = outCh
+	}
+	u.head = nn.NewConv2D(rng, cfg.Channels, 1, 1, 1, 0, true, cfg.InitStd)
+	return u
+}
+
+// Forward maps (N, 1, H, W) normalized slices to (N, 1, H, W) logits.
+// H and W must be divisible by 2^(Levels-1).
+func (u *UNet) Forward(x *ag.Value) *ag.Value {
+	var skips []*ag.Value
+	h := x
+	for l := 0; l < u.Cfg.Levels; l++ {
+		h = ag.ReLU(u.encBN[l].Forward(u.encConv[l].Forward(h)))
+		skips = append(skips, h)
+		if l < u.Cfg.Levels-1 {
+			h = ag.MaxPool2D(h, ag.Pool2DConfig{Kernel: 2, Stride: 2})
+		}
+	}
+	for i, l := 0, u.Cfg.Levels-1; l >= 0; i, l = i+1, l-1 {
+		if l < u.Cfg.Levels-1 {
+			h = ag.UpsampleBilinear2D(h, 2)
+		}
+		h = ag.Concat(1, h, skips[l])
+		h = ag.ReLU(u.decBN[i].Forward(u.decConv[i].Forward(h)))
+	}
+	return u.head.Forward(h)
+}
+
+// Params returns every trainable parameter.
+func (u *UNet) Params() []*ag.Value {
+	var ps []*ag.Value
+	for i := range u.encConv {
+		ps = append(ps, u.encConv[i].Params()...)
+		ps = append(ps, u.encBN[i].Params()...)
+	}
+	for i := range u.decConv {
+		ps = append(ps, u.decConv[i].Params()...)
+		ps = append(ps, u.decBN[i].Params()...)
+	}
+	ps = append(ps, u.head.Params()...)
+	return ps
+}
+
+// SetTraining toggles batch-norm behaviour.
+func (u *UNet) SetTraining(train bool) {
+	for i := range u.encBN {
+		u.encBN[i].SetTraining(train)
+	}
+	for i := range u.decBN {
+		u.decBN[i].SetTraining(train)
+	}
+}
+
+// StateTensors exposes batch-norm statistics for serialization.
+func (u *UNet) StateTensors() []*tensor.Tensor {
+	var ts []*tensor.Tensor
+	for i := range u.encBN {
+		ts = append(ts, u.encBN[i].RunningMean, u.encBN[i].RunningVar)
+	}
+	for i := range u.decBN {
+		ts = append(ts, u.decBN[i].RunningMean, u.decBN[i].RunningVar)
+	}
+	return ts
+}
+
+// UNetSample is one training slice: normalized image plus the binary
+// lung target.
+type UNetSample struct {
+	Image *tensor.Tensor // (H, W) in [0, 1]
+	Mask  []bool
+}
+
+// TrainUNet fits the segmenter with pixel-wise binary cross-entropy and
+// returns the per-epoch loss curve.
+func TrainUNet(u *UNet, samples []UNetSample, epochs int, lr float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	opt := nn.NewAdam(u.Params(), lr)
+	u.SetTraining(true)
+	size := samples[0].Image.Shape[0]
+
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	var curve []float64
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0.0
+		for _, idx := range order {
+			s := samples[idx]
+			x := ag.Const(s.Image.Reshape(1, 1, size, size))
+			target := tensor.New(1, 1, size, size)
+			for i, m := range s.Mask {
+				if m {
+					target.Data[i] = 1
+				}
+			}
+			opt.ZeroGrad()
+			loss := ag.BCEWithLogitsLoss(u.Forward(x), ag.Const(target))
+			loss.Backward()
+			opt.Step()
+			total += float64(loss.Scalar())
+		}
+		curve = append(curve, total/float64(len(samples)))
+	}
+	// Batch-norm recalibration, as in core.TrainClassifier.
+	for pass := 0; pass < 4; pass++ {
+		for _, s := range samples {
+			u.Forward(ag.Const(s.Image.Reshape(1, 1, size, size)))
+		}
+	}
+	u.SetTraining(false)
+	return curve
+}
+
+// SegmentSlice returns the predicted lung mask of one normalized slice.
+func (u *UNet) SegmentSlice(img *tensor.Tensor) []bool {
+	u.SetTraining(false)
+	h, w := img.Shape[0], img.Shape[1]
+	logits := u.Forward(ag.Const(img.Reshape(1, 1, h, w)))
+	mask := make([]bool, h*w)
+	for i, v := range logits.T.Data {
+		mask[i] = v > 0
+	}
+	return mask
+}
+
+// SegmentVolume applies the trained U-Net slice by slice to a normalized
+// volume and returns the stacked 3D mask.
+func (u *UNet) SegmentVolume(v *volume.Volume) []bool {
+	mask := make([]bool, v.D*v.H*v.W)
+	for z := 0; z < v.D; z++ {
+		img := tensor.FromSlice(v.Slice(z), v.H, v.W)
+		copy(mask[z*v.H*v.W:(z+1)*v.H*v.W], u.SegmentSlice(img))
+	}
+	return mask
+}

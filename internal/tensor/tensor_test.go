@@ -1,0 +1,250 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Numel() != 24 || x.Rank() != 3 {
+		t.Fatalf("Numel=%d Rank=%d, want 24, 3", x.Numel(), x.Rank())
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("New tensor not zero-filled")
+		}
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceAndIndexing(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if got := x.At(1, 2); got != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", got)
+	}
+	x.Set(42, 0, 1)
+	if got := x.At(0, 1); got != 42 {
+		t.Fatalf("Set/At round trip = %v, want 42", got)
+	}
+	if x.Index(1, 0) != 3 {
+		t.Fatalf("Index(1,0) = %d, want 3 (row-major)", x.Index(1, 0))
+	}
+}
+
+func TestFromSliceShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for shape/data mismatch")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	x.At(0, 2)
+}
+
+func TestScalar(t *testing.T) {
+	s := Scalar(3.5)
+	if s.Rank() != 0 || s.Numel() != 1 || s.Data[0] != 3.5 {
+		t.Fatalf("Scalar wrong: %v", s)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := x.Clone()
+	y.Data[0] = 99
+	if x.Data[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 4)
+	y := x.Reshape(2, 2)
+	y.Set(9, 1, 1)
+	if x.Data[3] != 9 {
+		t.Fatal("Reshape does not share data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad reshape")
+		}
+	}()
+	x.Reshape(3)
+}
+
+func TestArithmetic(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{4, 5, 6}, 3)
+	if got := a.Add(b); got.Data[0] != 5 || got.Data[2] != 9 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := b.Sub(a); got.Data[0] != 3 || got.Data[2] != 3 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Mul(b); got.Data[1] != 10 {
+		t.Fatalf("Mul = %v", got)
+	}
+	if got := a.Scale(2); got.Data[2] != 6 {
+		t.Fatalf("Scale = %v", got)
+	}
+	a.AxpyInPlace(10, b)
+	if a.Data[0] != 41 {
+		t.Fatalf("Axpy = %v", a)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	a, b := New(2), New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for shape mismatch")
+		}
+	}()
+	a.AddInPlace(b)
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float32{1, -2, 3, 0}, 4)
+	if x.Sum() != 2 {
+		t.Fatalf("Sum = %v", x.Sum())
+	}
+	if x.Mean() != 0.5 {
+		t.Fatalf("Mean = %v", x.Mean())
+	}
+	if x.Min() != -2 || x.Max() != 3 {
+		t.Fatalf("Min/Max = %v/%v", x.Min(), x.Max())
+	}
+	if x.ArgMax() != 2 {
+		t.Fatalf("ArgMax = %d", x.ArgMax())
+	}
+	if math.Abs(x.Std()-math.Sqrt(3.25)) > 1e-9 {
+		t.Fatalf("Std = %v", x.Std())
+	}
+	y := FromSlice([]float32{1, 1, 1, 1}, 4)
+	if x.Dot(y) != 2 {
+		t.Fatalf("Dot = %v", x.Dot(y))
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	x := New(0)
+	if x.Mean() != 0 || x.Std() != 0 {
+		t.Fatal("Mean/Std of empty tensor should be 0")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	x := FromSlice([]float32{-5, 0.5, 5}, 3)
+	x.Clamp(0, 1)
+	if x.Data[0] != 0 || x.Data[1] != 0.5 || x.Data[2] != 1 {
+		t.Fatalf("Clamp = %v", x.Data)
+	}
+}
+
+func TestApply(t *testing.T) {
+	x := FromSlice([]float32{1, 4, 9}, 3)
+	x.Apply(func(v float32) float32 { return float32(math.Sqrt(float64(v))) })
+	if x.Data[2] != 3 {
+		t.Fatalf("Apply = %v", x.Data)
+	}
+}
+
+func TestRandNStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(10000).RandN(rng, 2.0, 0.5)
+	if math.Abs(x.Mean()-2.0) > 0.05 {
+		t.Fatalf("RandN mean = %v, want ~2.0", x.Mean())
+	}
+	if math.Abs(x.Std()-0.5) > 0.05 {
+		t.Fatalf("RandN std = %v, want ~0.5", x.Std())
+	}
+}
+
+func TestRandURange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := New(1000).RandU(rng, -1, 1)
+	if x.Min() < -1 || x.Max() >= 1 {
+		t.Fatalf("RandU out of range: [%v, %v]", x.Min(), x.Max())
+	}
+}
+
+func TestAllCloseAndMaxAbsDiff(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{1.001, 2}, 2)
+	if !a.AllClose(b, 0.01) {
+		t.Fatal("AllClose(0.01) should hold")
+	}
+	if a.AllClose(b, 1e-6) {
+		t.Fatal("AllClose(1e-6) should fail")
+	}
+	if d := a.MaxAbsDiff(b); math.Abs(d-0.001) > 1e-6 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+	if a.AllClose(New(3), 1) {
+		t.Fatal("AllClose across shapes should fail")
+	}
+}
+
+func TestStringTruncates(t *testing.T) {
+	s := New(100).String()
+	if len(s) == 0 || len(s) > 200 {
+		t.Fatalf("String() unexpected length: %q", s)
+	}
+}
+
+// Property: Add is commutative.
+func TestAddCommutativeProperty(t *testing.T) {
+	f := func(a, b []float32) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		x := FromSlice(append([]float32(nil), a[:n]...), n)
+		y := FromSlice(append([]float32(nil), b[:n]...), n)
+		return x.Add(y).AllClose(y.Add(x), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Index and At agree with manual row-major arithmetic.
+func TestRowMajorProperty(t *testing.T) {
+	f := func(i, j, k uint8) bool {
+		d0, d1, d2 := int(i%4)+1, int(j%4)+1, int(k%4)+1
+		x := New(d0, d1, d2)
+		for a := 0; a < d0; a++ {
+			for b := 0; b < d1; b++ {
+				for c := 0; c < d2; c++ {
+					if x.Index(a, b, c) != (a*d1+b)*d2+c {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

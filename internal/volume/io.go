@@ -1,0 +1,90 @@
+package volume
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The .ccvol format is this repository's minimal volume container, so
+// pipelines can be run on files rather than in-process phantoms:
+//
+//	magic "CCVL" | version u32 | D u32 | H u32 | W u32 |
+//	voxels []float32 little-endian (Hounsfield units)
+
+const (
+	volMagic   = "CCVL"
+	volVersion = 1
+	// maxVolDim guards against allocating absurd volumes from corrupt
+	// headers.
+	maxVolDim = 1 << 14
+)
+
+// Save writes the volume to w in .ccvol format.
+func (v *Volume) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, volMagic); err != nil {
+		return err
+	}
+	hdr := []uint32{volVersion, uint32(v.D), uint32(v.H), uint32(v.W)}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, v.Data)
+}
+
+// Load reads a .ccvol volume from r.
+func Load(r io.Reader) (*Volume, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("volume: reading magic: %w", err)
+	}
+	if string(magic) != volMagic {
+		return nil, fmt.Errorf("volume: bad magic %q (not a .ccvol file)", magic)
+	}
+	var hdr [4]uint32
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	if hdr[0] != volVersion {
+		return nil, fmt.Errorf("volume: unsupported version %d", hdr[0])
+	}
+	d, h, w := int(hdr[1]), int(hdr[2]), int(hdr[3])
+	if d <= 0 || h <= 0 || w <= 0 || d > maxVolDim || h > maxVolDim || w > maxVolDim {
+		return nil, fmt.Errorf("volume: implausible dimensions %dx%dx%d", d, h, w)
+	}
+	v := New(d, h, w)
+	if err := binary.Read(r, binary.LittleEndian, v.Data); err != nil {
+		return nil, fmt.Errorf("volume: reading %dx%dx%d voxels: %w", d, h, w, err)
+	}
+	return v, nil
+}
+
+// SaveFile writes the volume to path in .ccvol format.
+func (v *Volume) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := v.Save(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a .ccvol volume from path.
+func LoadFile(path string) (*Volume, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}

@@ -1,0 +1,96 @@
+package workflow
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestCTTurnaroundIsMinutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	res := Run(CTPipeline(), 50, 8*time.Hour, rng)
+	// The paper claims ≈5 minutes of processing after the scan; with the
+	// scan itself and queueing, the median stays well under 2 hours.
+	if res.Median > 2*time.Hour {
+		t.Fatalf("CT median turnaround = %v, want well under 2h", res.Median)
+	}
+	if res.Min < 10*time.Minute {
+		t.Fatalf("CT minimum %v implausibly fast (scan alone takes ≥10m)", res.Min)
+	}
+}
+
+func TestRTPCRTurnaroundIsDays(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	res := Run(RTPCRPipeline(), 200, 24*time.Hour, rng)
+	if res.Median < 12*time.Hour {
+		t.Fatalf("RT-PCR median turnaround = %v, want many hours to days", res.Median)
+	}
+	if res.Max < 24*time.Hour {
+		t.Fatalf("RT-PCR worst case = %v, want multi-day tail", res.Max)
+	}
+}
+
+func TestHeadlineSpeedupDaysToMinutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ct := Run(CTPipeline(), 100, 12*time.Hour, rng)
+	pcr := Run(RTPCRPipeline(), 100, 12*time.Hour, rng)
+	speedup := float64(pcr.Median) / float64(ct.Median)
+	if speedup < 10 {
+		t.Fatalf("median speedup = %.1f×, paper's claim needs at least an order of magnitude", speedup)
+	}
+}
+
+func TestStatisticsOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	res := Run(RTPCRPipeline(), 100, 24*time.Hour, rng)
+	if !(res.Min <= res.Median && res.Median <= res.P90 && res.P90 <= res.Max) {
+		t.Fatalf("order statistics inconsistent: %+v", res)
+	}
+	if res.Mean <= 0 {
+		t.Fatalf("mean = %v", res.Mean)
+	}
+	if res.Patients != 100 {
+		t.Fatalf("patients = %d", res.Patients)
+	}
+}
+
+func TestBatchingDelaysSmallCohorts(t *testing.T) {
+	// A single patient in a batched pipeline waits for the batch timeout;
+	// many patients fill batches faster, so the *queue-free* single
+	// patient is not faster than the median of a busy day.
+	rng := rand.New(rand.NewSource(5))
+	single := Run(RTPCRPipeline(), 1, time.Hour, rng)
+	if single.Median < 12*time.Hour {
+		t.Fatalf("lone RT-PCR sample turned around in %v; batching should delay it", single.Median)
+	}
+}
+
+func TestServerContentionIncreasesTurnaround(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	narrow := Pipeline{Name: "1 scanner", Stages: []Stage{
+		{Name: "scan", Duration: Fixed(15 * time.Minute), Servers: 1},
+	}}
+	wide := Pipeline{Name: "8 scanners", Stages: []Stage{
+		{Name: "scan", Duration: Fixed(15 * time.Minute), Servers: 8},
+	}}
+	// 60 patients in one hour on one scanner must queue.
+	n := Run(narrow, 60, time.Hour, rng)
+	w := Run(wide, 60, time.Hour, rand.New(rand.NewSource(6)))
+	if n.Max <= w.Max {
+		t.Fatalf("contention should increase worst-case turnaround: 1-server %v vs 8-server %v",
+			n.Max, w.Max)
+	}
+}
+
+func TestFixedAndUniformSamplers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if Fixed(time.Minute)(rng) != time.Minute {
+		t.Fatal("Fixed sampler wrong")
+	}
+	for i := 0; i < 100; i++ {
+		d := Uniform(time.Minute, 2*time.Minute)(rng)
+		if d < time.Minute || d > 2*time.Minute {
+			t.Fatalf("Uniform sample %v out of range", d)
+		}
+	}
+}
