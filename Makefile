@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-heavy packages: the obs metric registry
+# and span buffer, the parallel-for pool, and the DDP trainer.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/parallel/... ./internal/distrib/...
+
+vet:
+	$(GO) vet ./...
+
+# Disabled-telemetry overhead (must stay in the single-digit ns/op
+# range) plus the parallel-for overhead benchmark.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/obs/
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/parallel/
+
+clean:
+	$(GO) clean ./...

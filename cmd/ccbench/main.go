@@ -8,23 +8,39 @@
 //
 // The full run trains the demo-scale networks and takes a few minutes on
 // one CPU; -quick halves the training budgets.
+//
+// Telemetry: -trace writes a Chrome trace_event JSON of the whole
+// benchmark run, -metrics a Prometheus text (or .json) dump — the
+// machine-readable source for BENCH_*.json trajectories — and -pprof
+// serves net/http/pprof for live profiling.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
 	"time"
 
 	"computecovid19/internal/experiments"
+	"computecovid19/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced-scale run (same settings as the test suite)")
 	only := flag.String("only", "", "comma-separated subset, e.g. table3,figure13")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file on exit")
+	metricsPath := flag.String("metrics", "", "write metrics on exit (.json = JSON dump, else Prometheus text)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	flush, err := obs.Setup(*tracePath, *metricsPath, *pprofAddr)
+	if err != nil {
+		log.Fatalf("ccbench: %v", err)
+	}
+	defer flush()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {

@@ -2,12 +2,19 @@
 // → Segmentation AI → Classification AI — over a synthetic screening
 // cohort and prints per-scan diagnoses. Models are loaded from files
 // produced by cmd/cctrain, or trained on the spot when no files are
-// given.
+// given (with -nodes > 1 the fallback classifier trains data-parallel
+// through internal/distrib, the §4.1 DDP path).
 //
 // Usage:
 //
 //	ccovid [-enhancer enhancer.cc19] [-classifier classifier.cc19]
 //	       [-cases 6] [-size 32] [-depth 8] [-seed 99] [-no-enhance]
+//	       [-nodes 1] [-trace trace.json] [-metrics metrics.prom]
+//	       [-pprof localhost:6060]
+//
+// Telemetry: -trace writes a Chrome trace_event JSON file (load in
+// chrome://tracing or ui.perfetto.dev), -metrics writes a Prometheus
+// text (or .json) metrics dump, -pprof serves net/http/pprof.
 package main
 
 import (
@@ -15,6 +22,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"strings"
 
 	"computecovid19/internal/classify"
 	"computecovid19/internal/core"
@@ -22,9 +31,55 @@ import (
 	"computecovid19/internal/ddnet"
 	"computecovid19/internal/metrics"
 	"computecovid19/internal/nn"
+	"computecovid19/internal/obs"
 	"computecovid19/internal/volume"
-	"strings"
 )
+
+// validate fails fast — before any model training spends minutes — when
+// a flag names a file that does not exist or a geometry the networks
+// cannot process.
+func validate(enhPath, clsPath, input string, size, depth, cases, nodes int) error {
+	checkFile := func(flagName, path string) error {
+		if path == "" {
+			return nil
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			return fmt.Errorf("-%s %s: %w", flagName, path, err)
+		}
+		if info.IsDir() {
+			return fmt.Errorf("-%s %s: is a directory, want a file", flagName, path)
+		}
+		return nil
+	}
+	if err := checkFile("enhancer", enhPath); err != nil {
+		return err
+	}
+	if err := checkFile("classifier", clsPath); err != nil {
+		return err
+	}
+	if input != "" {
+		for _, path := range strings.Split(input, ",") {
+			if err := checkFile("input", strings.TrimSpace(path)); err != nil {
+				return err
+			}
+		}
+	}
+	if div := 1 << ddnet.TinyConfig().Stages; size < div || size%div != 0 {
+		return fmt.Errorf("-size %d: must be a positive multiple of %d (DDnet pools %d times)",
+			size, div, ddnet.TinyConfig().Stages)
+	}
+	if depth < 1 {
+		return fmt.Errorf("-depth %d: must be at least 1", depth)
+	}
+	if cases < 1 {
+		return fmt.Errorf("-cases %d: must be at least 1", cases)
+	}
+	if nodes < 1 {
+		return fmt.Errorf("-nodes %d: must be at least 1", nodes)
+	}
+	return nil
+}
 
 func main() {
 	enhPath := flag.String("enhancer", "", "DDnet model file (trained by cctrain); empty = train briefly now")
@@ -35,10 +90,26 @@ func main() {
 	seed := flag.Int64("seed", 99, "cohort seed")
 	noEnhance := flag.Bool("no-enhance", false, "skip Enhancement AI (the paper's grey-arrow ablation)")
 	input := flag.String("input", "", "comma-separated .ccvol scan files to diagnose instead of a synthetic cohort")
+	nodes := flag.Int("nodes", 1, "data-parallel nodes for fallback classifier training (>1 = DDP via ring all-reduce)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file on exit")
+	metricsPath := flag.String("metrics", "", "write metrics on exit (.json = JSON dump, else Prometheus text)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	// Validate every user-supplied path and geometry up front: a typo'd
+	// -input must not surface only after minutes of fallback training.
+	if err := validate(*enhPath, *clsPath, *input, *size, *depth, *cases, *nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "ccovid:", err)
+		os.Exit(2)
+	}
+
+	flush, err := obs.Setup(*tracePath, *metricsPath, *pprofAddr)
+	if err != nil {
+		log.Fatalf("ccovid: %v", err)
+	}
+	defer flush()
+
 	enh := ddnet.New(rand.New(rand.NewSource(1)), ddnet.TinyConfig())
-	cls := classify.New(rand.New(rand.NewSource(2)), classify.SmallConfig())
 
 	if *enhPath != "" {
 		if err := nn.LoadModuleFile(*enhPath, enh); err != nil {
@@ -69,13 +140,17 @@ func main() {
 	ccfg.LowDose = true
 	ccfg.PhotonsPerRay = 100
 
+	newClassifier := func() *classify.Classifier {
+		return classify.New(rand.New(rand.NewSource(2)), classify.SmallConfig())
+	}
+	var cls *classify.Classifier
 	if *clsPath != "" {
+		cls = newClassifier()
 		if err := nn.LoadModuleFile(*clsPath, cls); err != nil {
 			log.Fatalf("loading classifier: %v", err)
 		}
 		fmt.Println("loaded classifier from", *clsPath)
 	} else {
-		fmt.Println("no -classifier given: training the 3D DenseNet briefly on a synthetic cohort...")
 		tcfg := ccfg
 		tcfg.Seed = *seed + 1000 // train on a different cohort than we screen
 		tcfg.Count = 20
@@ -84,7 +159,14 @@ func main() {
 		tc.Epochs = 20
 		tc.LR = 5e-3
 		tc.Augment = false
-		core.TrainClassifier(cls, dataset.BuildCohort(tcfg), tc)
+		if *nodes > 1 {
+			fmt.Printf("no -classifier given: training the 3D DenseNet on %d data-parallel nodes (ring all-reduce)...\n", *nodes)
+			cls, _ = core.TrainClassifierDDP(newClassifier, dataset.BuildCohort(tcfg), tc, *nodes)
+		} else {
+			fmt.Println("no -classifier given: training the 3D DenseNet briefly on a synthetic cohort...")
+			cls = newClassifier()
+			core.TrainClassifier(cls, dataset.BuildCohort(tcfg), tc)
+		}
 	}
 
 	var pipeline *core.Pipeline

@@ -5,6 +5,11 @@
 //
 //	cctrain -what enhancer  [-epochs 12] [-size 32] [-count 20] -out enhancer.cc19
 //	cctrain -what classifier [-epochs 16] [-size 32] [-count 24] -out classifier.cc19
+//
+// Telemetry: -trace writes a Chrome trace_event JSON file of the
+// training run (per-step and per-layer spans), -metrics a Prometheus
+// text (or .json) dump including train_step_seconds and the step-loss
+// gauge, -pprof serves net/http/pprof for live profiling.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"computecovid19/internal/dataset"
 	"computecovid19/internal/ddnet"
 	"computecovid19/internal/nn"
+	"computecovid19/internal/obs"
 )
 
 func main() {
@@ -28,10 +34,19 @@ func main() {
 	count := flag.Int("count", 20, "training samples")
 	seed := flag.Int64("seed", 1, "seed")
 	out := flag.String("out", "", "output model path (.cc19)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file on exit")
+	metricsPath := flag.String("metrics", "", "write metrics on exit (.json = JSON dump, else Prometheus text)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if *out == "" {
 		log.Fatal("cctrain: -out is required")
 	}
+
+	flush, err := obs.Setup(*tracePath, *metricsPath, *pprofAddr)
+	if err != nil {
+		log.Fatalf("cctrain: %v", err)
+	}
+	defer flush()
 
 	switch *what {
 	case "enhancer":

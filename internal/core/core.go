@@ -7,6 +7,7 @@ package core
 
 import (
 	"math/rand"
+	"time"
 
 	"computecovid19/internal/ag"
 	"computecovid19/internal/classify"
@@ -15,9 +16,24 @@ import (
 	"computecovid19/internal/ddnet"
 	"computecovid19/internal/metrics"
 	"computecovid19/internal/nn"
+	"computecovid19/internal/obs"
 	"computecovid19/internal/segment"
 	"computecovid19/internal/tensor"
 	"computecovid19/internal/volume"
+)
+
+// Telemetry: per-scan latency (the number a clinician-facing deployment
+// watches) and per-stage latencies for the enhance → segment → classify
+// split of Figure 4. Metric handles are atomics; span collection costs
+// ~3 ns per site while disabled (see internal/obs).
+var (
+	scanSeconds         = obs.GetHistogram("pipeline_scan_seconds", nil)
+	scansTotal          = obs.GetCounter("pipeline_scans_total")
+	stageEnhanceSeconds = obs.GetHistogram(`pipeline_stage_seconds{stage="enhance"}`, nil)
+	stageSegmentSeconds = obs.GetHistogram(`pipeline_stage_seconds{stage="segment"}`, nil)
+	stageClassifySecs   = obs.GetHistogram(`pipeline_stage_seconds{stage="classify"}`, nil)
+	trainStepSeconds    = obs.GetHistogram("train_step_seconds", nil)
+	trainStepLoss       = obs.GetGauge("train_step_loss")
 )
 
 // Pipeline is a configured ComputeCOVID19+ instance.
@@ -66,6 +82,17 @@ type Result struct {
 // returns the enhanced HU volume. With no enhancer it returns the input
 // unchanged.
 func (p *Pipeline) Enhance(v *volume.Volume) *volume.Volume {
+	return p.enhance(v, obs.Start("core/enhance"))
+}
+
+// enhance is Enhance under a caller-provided span (nil = untraced).
+func (p *Pipeline) enhance(v *volume.Volume, sp *obs.Span) *volume.Volume {
+	start := time.Now()
+	defer func() {
+		stageEnhanceSeconds.Observe(time.Since(start).Seconds())
+		sp.End()
+	}()
+	sp.SetAttr("slices", v.D)
 	if p.Enhancer == nil {
 		return v
 	}
@@ -88,9 +115,26 @@ func (p *Pipeline) Enhance(v *volume.Volume) *volume.Volume {
 // Diagnose runs the full workflow of Figure 4 on an HU volume:
 // enhancement, lung segmentation, masking, classification.
 func (p *Pipeline) Diagnose(v *volume.Volume) Result {
-	enhanced := p.Enhance(v)
+	sp := obs.Start("core/diagnose")
+	start := time.Now()
+
+	enhanced := p.enhance(v, sp.Child("core/enhance"))
+
+	segSp := sp.Child("core/segment")
+	segStart := time.Now()
 	masked, mask := segment.Apply(enhanced, p.SegOpts)
+	stageSegmentSeconds.Observe(time.Since(segStart).Seconds())
+	segSp.End()
+
+	clsSp := sp.Child("core/classify")
+	clsStart := time.Now()
 	prob := p.Classifier.Predict(masked.Normalized(p.WindowLo, p.WindowHi))
+	stageClassifySecs.Observe(time.Since(clsStart).Seconds())
+	clsSp.End()
+
+	scanSeconds.Observe(time.Since(start).Seconds())
+	scansTotal.Inc()
+	sp.End()
 	return Result{
 		Probability: prob,
 		Positive:    prob >= p.Threshold,
@@ -138,6 +182,10 @@ func PaperEnhancerTraining() EnhancerTrainingConfig {
 // TrainEnhancer trains a DDnet on clean/low-dose pairs and returns the
 // per-epoch mean training loss (Figure 11a's curve).
 func TrainEnhancer(m *ddnet.DDnet, pairs []dataset.EnhancementPair, cfg EnhancerTrainingConfig) []float64 {
+	tsp := obs.Start("core/train_enhancer")
+	tsp.SetAttr("epochs", cfg.Epochs)
+	tsp.SetAttr("pairs", len(pairs))
+	defer tsp.End()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	opt := nn.NewAdam(m.Params(), cfg.LR)
 	sched := nn.NewExponentialLR(opt, cfg.LRDecay)
@@ -165,10 +213,13 @@ func TrainEnhancer(m *ddnet.DDnet, pairs []dataset.EnhancementPair, cfg Enhancer
 				copy(x.Data[bi*size*size:(bi+1)*size*size], pairs[idx].LowDose.Data)
 				copy(y.Data[bi*size*size:(bi+1)*size*size], pairs[idx].Clean.Data)
 			}
+			stepStart := time.Now()
 			opt.ZeroGrad()
 			loss := ddnet.Loss(m.Forward(ag.Const(x)), ag.Const(y))
 			loss.Backward()
 			opt.Step()
+			trainStepSeconds.Observe(time.Since(stepStart).Seconds())
+			trainStepLoss.Set(float64(loss.Scalar()))
 			epochLoss += float64(loss.Scalar())
 			steps++
 		}
@@ -235,6 +286,10 @@ func PrepareClassifierInput(p *Pipeline, v *volume.Volume) *tensor.Tensor {
 // TrainClassifier trains the classifier on a cohort and returns the
 // per-epoch mean loss (Figure 11b's curve).
 func TrainClassifier(c *classify.Classifier, cases []dataset.Case, cfg ClassifierTrainingConfig) []float64 {
+	tsp := obs.Start("core/train_classifier")
+	tsp.SetAttr("epochs", cfg.Epochs)
+	tsp.SetAttr("cases", len(cases))
+	defer tsp.End()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	opt := nn.NewAdam(c.Params(), cfg.LR)
 	c.SetTraining(true)
@@ -274,10 +329,13 @@ func TrainClassifier(c *classify.Classifier, cases []dataset.Case, cfg Classifie
 					y.Data[bi] = 1
 				}
 			}
+			stepStart := time.Now()
 			opt.ZeroGrad()
 			loss := classify.Loss(c.Forward(ag.Const(x)), ag.Const(y))
 			loss.Backward()
 			opt.Step()
+			trainStepSeconds.Observe(time.Since(stepStart).Seconds())
+			trainStepLoss.Set(float64(loss.Scalar()))
 			epochLoss += float64(loss.Scalar())
 			steps++
 		}

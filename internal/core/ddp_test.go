@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"computecovid19/internal/classify"
+	"computecovid19/internal/metrics"
+)
+
+// TestTrainClassifierDDPLearnsCohort runs the §4.1 data-parallel path
+// end to end on two nodes and checks it behaves like a trainer: the
+// loss curve has one entry per epoch, decreases, and the returned
+// master replica scores the cohort sensibly in eval mode.
+func TestTrainClassifierDDPLearnsCohort(t *testing.T) {
+	cases := smallCohort(t, 12, 11)
+	factory := func() *classify.Classifier {
+		return classify.New(rand.New(rand.NewSource(12)), classify.SmallConfig())
+	}
+	tc := DefaultClassifierTraining()
+	tc.Epochs = 10
+	tc.LR = 5e-3
+	tc.Augment = false
+	cls, curve := TrainClassifierDDP(factory, cases, tc, 2)
+	if len(curve) != tc.Epochs {
+		t.Fatalf("curve has %d epochs, want %d", len(curve), tc.Epochs)
+	}
+	for _, l := range curve {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("non-finite loss in curve: %v", curve)
+		}
+	}
+	if curve[len(curve)-1] >= curve[0] {
+		t.Fatalf("DDP classifier loss did not decrease: %v", curve)
+	}
+
+	p := NewPipeline(nil, cls)
+	probs, labels := p.Score(cases)
+	for _, pr := range probs {
+		if pr < 0 || pr > 1 {
+			t.Fatalf("probability %v out of range", pr)
+		}
+	}
+	if auc := metrics.AUC(probs, labels); auc < 0.6 {
+		t.Fatalf("training-set AUC = %v, want > 0.6", auc)
+	}
+}

@@ -22,9 +22,11 @@ package ddnet
 
 import (
 	"math/rand"
+	"strconv"
 
 	"computecovid19/internal/ag"
 	"computecovid19/internal/nn"
+	"computecovid19/internal/obs"
 	"computecovid19/internal/tensor"
 )
 
@@ -145,25 +147,42 @@ func (m *DDnet) NumDeconvLayers() int { return 2 * m.Cfg.Stages }
 // Forward enhances a batch of (N, 1, H, W) images in [0, 1]. H and W
 // must be divisible by 2^Stages.
 func (m *DDnet) Forward(x *ag.Value) *ag.Value {
+	sp := obs.Start("ddnet/forward")
+	defer sp.End()
 	act := func(v *ag.Value) *ag.Value { return ag.LeakyReLU(v, m.Cfg.Slope) }
 
+	stemSp := sp.Child("ddnet/stem")
 	stem := act(m.bnIn.Forward(m.convIn.Forward(x)))
+	stemSp.End()
 
-	// Encoder: pool, dense block, transition — collecting skips.
+	// Encoder: pool, dense block, transition — collecting skips. Each
+	// stage is a child span, so chrome://tracing shows the per-layer
+	// split that Table 5 aggregates into conv/deconv/other.
 	skips := make([]*ag.Value, 0, m.Cfg.Stages+1)
 	skips = append(skips, stem)
 	h := stem
+	// Stage names are built only when tracing, so the disabled path
+	// allocates nothing.
+	stageSpan := func(kind string, s int) *obs.Span {
+		if sp == nil {
+			return nil
+		}
+		return sp.Child("ddnet/" + kind + strconv.Itoa(s))
+	}
 	for s := 0; s < m.Cfg.Stages; s++ {
+		ssp := stageSpan("enc", s)
 		h = ag.MaxPool2D(h, ag.Pool2DConfig{Kernel: 3, Stride: 2, Padding: 1})
 		db := m.blocks[s].Forward(h)
 		if s < m.Cfg.Stages-1 {
 			skips = append(skips, db)
 		}
 		h = act(m.transB[s].Forward(m.transC[s].Forward(db)))
+		ssp.End()
 	}
 
 	// Decoder: un-pool, global shortcut concat, two deconvolutions.
 	for s := 0; s < m.Cfg.Stages; s++ {
+		ssp := stageSpan("dec", s)
 		h = ag.UpsampleBilinear2D(h, 2)
 		skip := skips[len(skips)-1-s]
 		h = ag.Concat(1, h, skip)
@@ -172,6 +191,7 @@ func (m *DDnet) Forward(x *ag.Value) *ag.Value {
 		if m.deconvBB[s] != nil {
 			h = act(m.deconvBB[s].Forward(h))
 		}
+		ssp.End()
 	}
 
 	if m.Cfg.Residual {

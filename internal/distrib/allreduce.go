@@ -12,7 +12,20 @@ package distrib
 
 import (
 	"sync"
+
+	"computecovid19/internal/obs"
 )
+
+// allReduceBytes accumulates the total bytes moved on the ring across
+// all nodes — the live counterpart of Table 3's communication volume
+// (and of RingBytesPerNode's closed form). Registered at package init
+// so it appears in every metrics export of a binary that links distrib,
+// even before the first step runs.
+var allReduceBytes = obs.GetCounter("distrib_allreduce_bytes_total")
+
+// allReduceCalls counts ring all-reduce invocations (one per parameter
+// tensor per step, as gloo buckets do).
+var allReduceCalls = obs.GetCounter("distrib_allreduce_calls_total")
 
 // RingAllReduce sums the per-node vectors element-wise and leaves the
 // result in every node's vector, using the bandwidth-optimal ring
@@ -34,6 +47,11 @@ func RingAllReduce(vectors [][]float32) {
 	if length == 0 {
 		return
 	}
+
+	// Wire accounting: every one of the 2(n−1) ring steps moves each of
+	// the n chunks once, i.e. 4·length bytes across the ring per step.
+	allReduceCalls.Inc()
+	allReduceBytes.Add(uint64(2*(n-1)) * uint64(4*length))
 
 	// Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]).
 	chunks := n

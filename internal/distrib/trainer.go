@@ -2,11 +2,25 @@ package distrib
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"time"
 
 	"computecovid19/internal/ag"
 	"computecovid19/internal/nn"
+	"computecovid19/internal/obs"
 	"computecovid19/internal/tensor"
+)
+
+// Per-step training telemetry: the loss and (post-all-reduce) gradient
+// norm a training dashboard would plot, plus a step counter. The grad
+// norm is O(parameters) to compute, so it is derived only while span
+// collection is enabled.
+var (
+	stepsTotal   = obs.GetCounter("distrib_steps_total")
+	stepLossG    = obs.GetGauge("distrib_step_loss")
+	gradNormG    = obs.GetGauge("distrib_grad_norm")
+	stepSecondsH = obs.GetHistogram("distrib_step_seconds", nil)
 )
 
 // Model is what the data-parallel trainer needs from a network.
@@ -82,6 +96,13 @@ func (t *Trainer) Step(xs, ys []*tensor.Tensor) float64 {
 	if len(xs) != len(ys) || len(xs) == 0 {
 		panic("distrib: Step needs equally many inputs and targets")
 	}
+	sp := obs.Start("distrib/step")
+	defer sp.End()
+	if sp != nil {
+		sp.SetAttr("nodes", t.Nodes)
+		sp.SetAttr("global_batch", len(xs))
+	}
+	stepStart := time.Now()
 	global := len(xs)
 
 	losses := make([]float64, t.Nodes)
@@ -132,7 +153,23 @@ func (t *Trainer) Step(xs, ys []*tensor.Tensor) float64 {
 	for _, l := range losses {
 		total += l
 	}
-	return total / float64(global)
+	mean := total / float64(global)
+
+	stepsTotal.Inc()
+	stepLossG.Set(mean)
+	stepSecondsH.Observe(time.Since(stepStart).Seconds())
+	if obs.Enabled() {
+		// All replicas hold identical averaged gradients here, so the
+		// master's norm is the global norm.
+		var sq float64
+		for _, p := range params0 {
+			for _, g := range p.Grad.Data {
+				sq += float64(g) * float64(g)
+			}
+		}
+		gradNormG.Set(math.Sqrt(sq))
+	}
+	return mean
 }
 
 // InSync reports whether all replicas hold identical parameters (used by

@@ -1,0 +1,72 @@
+// Per-layer forward timing: Timed wraps any Module so its Forward calls
+// show up as obs spans and feed a per-layer latency histogram. Wrapping
+// is opt-in and composable (a Sequential of Timed modules yields a
+// per-layer breakdown); the unwrapped fast path pays nothing.
+package nn
+
+import (
+	"fmt"
+	"time"
+
+	"computecovid19/internal/ag"
+	"computecovid19/internal/obs"
+	"computecovid19/internal/tensor"
+)
+
+// Timed is a Module decorator that times every Forward call. Construct
+// with NewTimed so the metric handle is resolved once.
+type Timed struct {
+	// Name labels the layer in spans and metrics.
+	Name string
+	// Mod is the wrapped module.
+	Mod Module
+
+	spanName string
+	hist     *obs.Histogram
+}
+
+// NewTimed wraps m so each Forward records an obs span ("nn/<name>")
+// and an observation in nn_forward_seconds{layer="<name>"}.
+func NewTimed(name string, m Module) *Timed {
+	return &Timed{
+		Name:     name,
+		Mod:      m,
+		spanName: "nn/" + name,
+		hist:     obs.GetHistogram(fmt.Sprintf("nn_forward_seconds{layer=%q}", name), nil),
+	}
+}
+
+// TimedSeq wraps every submodule of a Sequential with NewTimed, naming
+// layers prefix/0, prefix/1, … — a one-call per-layer breakdown for
+// Sequential-built networks.
+func TimedSeq(prefix string, s *Sequential) *Sequential {
+	out := &Sequential{Mods: make([]Module, len(s.Mods))}
+	for i, m := range s.Mods {
+		out.Mods[i] = NewTimed(fmt.Sprintf("%s/%d", prefix, i), m)
+	}
+	return out
+}
+
+// Forward times the wrapped module's Forward.
+func (t *Timed) Forward(x *ag.Value) *ag.Value {
+	sp := obs.Start(t.spanName)
+	start := time.Now()
+	y := t.Mod.Forward(x)
+	t.hist.Observe(time.Since(start).Seconds())
+	sp.End()
+	return y
+}
+
+// Params delegates to the wrapped module.
+func (t *Timed) Params() []*ag.Value { return t.Mod.Params() }
+
+// SetTraining delegates to the wrapped module.
+func (t *Timed) SetTraining(train bool) { t.Mod.SetTraining(train) }
+
+// stateTensors keeps serialization transparent through the wrapper.
+func (t *Timed) stateTensors() []*tensor.Tensor {
+	if st, ok := t.Mod.(stateful); ok {
+		return st.stateTensors()
+	}
+	return nil
+}

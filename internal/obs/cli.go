@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"strings"
+)
+
+// Setup wires the standard telemetry CLI flags shared by cmd/ccovid,
+// cmd/cctrain and cmd/ccbench:
+//
+//	-trace FILE    write a Chrome trace_event JSON file on exit
+//	-metrics FILE  write metrics on exit (.json → JSON dump, else
+//	               Prometheus text exposition format)
+//	-pprof ADDR    serve net/http/pprof on ADDR for live profiling
+//
+// Empty strings disable the corresponding output. When either file is
+// requested span collection is enabled; otherwise instrumentation stays
+// on the nil-sink fast path. Both files are created eagerly so an
+// unwritable path fails here, before the run, not at flush time. The
+// returned flush writes the requested files (and a text summary to
+// stderr) — defer it in main.
+func Setup(tracePath, metricsPath, pprofAddr string) (flush func(), err error) {
+	for _, path := range []string{tracePath, metricsPath} {
+		if path == "" {
+			continue
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		f.Close()
+	}
+	if tracePath != "" || metricsPath != "" {
+		Enable()
+	}
+	if pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "obs: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "obs: serving net/http/pprof on http://%s/debug/pprof\n", pprofAddr)
+	}
+	return func() {
+		if tracePath != "" {
+			if err := writeFile(tracePath, WriteChromeTrace); err != nil {
+				fmt.Fprintln(os.Stderr, "obs: writing trace:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "obs: wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", tracePath)
+			}
+		}
+		if metricsPath != "" {
+			write := func(w io.Writer) error { return Default.WritePrometheus(w) }
+			if strings.HasSuffix(metricsPath, ".json") {
+				write = WriteJSON
+			}
+			if err := writeFile(metricsPath, write); err != nil {
+				fmt.Fprintln(os.Stderr, "obs: writing metrics:", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "obs: wrote metrics to", metricsPath)
+			}
+			WriteText(os.Stderr)
+		}
+	}, nil
+}
+
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

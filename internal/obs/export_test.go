@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s does not match golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestChromeTraceGolden pins the trace_event JSON shape: an object with
+// a traceEvents array of ph:"X" complete events carrying pid/tid/ts/dur
+// in microseconds, attrs as args.
+func TestChromeTraceGolden(t *testing.T) {
+	recs := []SpanRecord{
+		{Name: "core/diagnose", TID: 1, Start: 0, Dur: 1500 * time.Microsecond},
+		{Name: "core/enhance", TID: 1, Start: 10 * time.Microsecond, Dur: 800 * time.Microsecond,
+			Attrs: []Attr{{Key: "slices", Value: 8}}},
+		{Name: "core/segment", TID: 1, Start: 820 * time.Microsecond, Dur: 400 * time.Microsecond},
+		{Name: "kernels/ddnet_inference", TID: 2, Start: 5 * time.Microsecond, Dur: 2 * time.Millisecond,
+			Attrs: []Attr{{Key: "variant", Value: "opt3"}, {Key: "size", Value: 64}}},
+	}
+	var buf bytes.Buffer
+	if err := writeChromeTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_trace.golden.json", buf.Bytes())
+}
+
+// TestPrometheusGolden pins the text exposition format across all three
+// metric kinds, label handling, and histogram bucket expansion.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("distrib_allreduce_bytes_total").Add(98304)
+	r.Counter(`parallel_chunks_spawned_total`).Add(64)
+	r.Gauge("distrib_grad_norm").Set(0.125)
+	h := r.Histogram(`pipeline_stage_seconds{stage="enhance"}`, []float64{0.01, 0.1, 1})
+	h.Observe(0.004)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(3)
+	h2 := r.Histogram(`pipeline_stage_seconds{stage="segment"}`, []float64{0.01, 0.1, 1})
+	h2.Observe(0.02)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.golden.prom", buf.Bytes())
+}
+
+// TestJSONDumpRoundTrips sanity-checks the machine-readable dump shape
+// against the same fixture (not golden-pinned: span timings are live).
+func TestJSONDumpSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(2)
+	h := r.Histogram("h_seconds", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+	d := r.Snapshot()
+	if d.Counters["c_total"] != 2 {
+		t.Fatalf("counter snapshot = %v", d.Counters)
+	}
+	hd := d.Histograms["h_seconds"]
+	if hd.Count != 2 || hd.Sum != 2.5 || len(hd.Buckets) != 2 {
+		t.Fatalf("histogram snapshot = %+v", hd)
+	}
+	if hd.Buckets[0].Count != 1 || hd.Buckets[1].Count != 2 {
+		t.Fatalf("cumulative buckets = %+v", hd.Buckets)
+	}
+}

@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric. The zero value is
+// usable; a nil *Counter is the disabled sink.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down (last-write-wins
+// Set plus an atomic Add). A nil *Gauge is the disabled sink.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds v to the gauge.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: bounds are inclusive upper edges, with an implicit +Inf bucket.
+// Observation is lock-free (one binary search + two atomic adds + one
+// CAS loop for the sum). A nil *Histogram is the disabled sink.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Bounds returns the bucket upper edges (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// Cumulative returns the cumulative per-bucket counts, one per bound
+// plus the +Inf bucket (so the last entry equals Count at snapshot
+// time).
+func (h *Histogram) Cumulative() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.buckets))
+	var run uint64
+	for i := range h.buckets {
+		run += h.buckets[i].Load()
+		out[i] = run
+	}
+	return out
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start and growing by factor — the shape latency distributions want.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// TimeBuckets are the default latency bounds: 100 µs to ~1.6 h in
+// half-decade steps, covering kernel times through simulated workflow
+// turnarounds.
+func TimeBuckets() []float64 { return ExpBuckets(1e-4, math.Sqrt(10), 16) }
+
+// Registry is a named set of metrics. Lookup is get-or-create, so
+// instrumented packages can grab handles at init without coordination.
+// Metric names may carry Prometheus-style labels inline:
+//
+//	pipeline_stage_seconds{stage="enhance"}
+//
+// The exporters split the label block off the base name (histograms
+// need it to splice in the "le" label).
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+// Default is the process-wide registry all package-level helpers use.
+var Default = NewRegistry()
+
+func (r *Registry) lookup(name string, create func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := create()
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. It panics if name is already registered as another kind.
+func (r *Registry) Counter(name string) *Counter {
+	m := r.lookup(name, func() any { return new(Counter) })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	m := r.lookup(name, func() any { return new(Gauge) })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds if needed. Bounds must be sorted
+// ascending; they are ignored when the histogram already exists.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	m := r.lookup(name, func() any {
+		if len(bounds) == 0 {
+			bounds = TimeBuckets()
+		}
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not sorted", name))
+		}
+		return &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Uint64, len(bounds)+1),
+		}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+	}
+	return h
+}
+
+// reset zeroes every registered metric in place, keeping handles valid.
+func (r *Registry) reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.metrics {
+		switch m := m.(type) {
+		case *Counter:
+			m.v.Store(0)
+		case *Gauge:
+			m.bits.Store(0)
+		case *Histogram:
+			for i := range m.buckets {
+				m.buckets[i].Store(0)
+			}
+			m.count.Store(0)
+			m.sumBits.Store(0)
+		}
+	}
+}
+
+// names returns the registered metric names, sorted.
+func (r *Registry) names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// get returns the metric registered under name, or nil.
+func (r *Registry) get(name string) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics[name]
+}
+
+// GetCounter / GetGauge / GetHistogram return the package-default
+// registry's metric handles, creating them on first use.
+
+// GetCounter returns Default.Counter(name).
+func GetCounter(name string) *Counter { return Default.Counter(name) }
+
+// GetGauge returns Default.Gauge(name).
+func GetGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// GetHistogram returns Default.Histogram(name, bounds). Empty bounds
+// select TimeBuckets.
+func GetHistogram(name string, bounds []float64) *Histogram {
+	return Default.Histogram(name, bounds)
+}

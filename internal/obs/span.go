@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values should be small
+// scalars or short strings; they are carried verbatim into the Chrome
+// trace "args" object.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed region of execution. A nil *Span is the disabled
+// sink: every method no-ops, so call sites need no enabled checks.
+type Span struct {
+	name  string
+	start time.Time
+	tid   int64
+	attrs []Attr
+}
+
+// nextTID hands out Chrome-trace track ids: each top-level span opens a
+// new track, children inherit their parent's, so nested spans stack in
+// the viewer.
+var nextTID atomic.Int64
+
+// Start begins a top-level span. It returns nil when span collection is
+// disabled — the nil-sink fast path, one atomic load.
+func Start(name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	return &Span{name: name, start: time.Now(), tid: nextTID.Add(1)}
+}
+
+// Child begins a span nested under s, on the same trace track. On a nil
+// receiver it returns nil, propagating the disabled sink down the call
+// tree.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{name: name, start: time.Now(), tid: s.tid}
+}
+
+// ctxKey keys the active span in a context.Context.
+type ctxKey struct{}
+
+// StartCtx begins a span nested under the context's active span (or a
+// new top-level span) and returns a derived context carrying it. When
+// collection is disabled the input context is returned unchanged.
+func StartCtx(ctx context.Context, name string) (context.Context, *Span) {
+	if !enabled.Load() {
+		return ctx, nil
+	}
+	var sp *Span
+	if parent, ok := ctx.Value(ctxKey{}).(*Span); ok {
+		sp = parent.Child(name)
+	} else {
+		sp = Start(name)
+	}
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// FromCtx returns the context's active span, or nil.
+func FromCtx(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// SetAttr attaches a key/value annotation.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span and commits it to the trace buffer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	addRecord(SpanRecord{
+		Name:  s.name,
+		TID:   s.tid,
+		Start: s.start.Sub(traceEpoch()),
+		Dur:   now.Sub(s.start),
+		Attrs: s.attrs,
+	})
+}
+
+// SpanRecord is one completed span as retained by the trace buffer.
+// Start is relative to the trace epoch (the first Enable call).
+type SpanRecord struct {
+	Name  string
+	TID   int64
+	Start time.Duration
+	Dur   time.Duration
+	Attrs []Attr
+}
+
+// maxTraceRecords bounds trace-buffer memory; ~256k spans ≈ tens of MB.
+// Overflowing spans are counted, not retained.
+const maxTraceRecords = 1 << 18
+
+var trace struct {
+	mu      sync.Mutex
+	recs    []SpanRecord
+	dropped uint64
+}
+
+func addRecord(r SpanRecord) {
+	trace.mu.Lock()
+	if len(trace.recs) >= maxTraceRecords {
+		trace.dropped++
+	} else {
+		trace.recs = append(trace.recs, r)
+	}
+	trace.mu.Unlock()
+}
+
+func resetTrace() {
+	trace.mu.Lock()
+	trace.recs = nil
+	trace.dropped = 0
+	trace.mu.Unlock()
+}
+
+// TraceRecords returns a snapshot of the completed spans and the count
+// of spans dropped to the buffer cap.
+func TraceRecords() ([]SpanRecord, uint64) {
+	trace.mu.Lock()
+	defer trace.mu.Unlock()
+	return append([]SpanRecord(nil), trace.recs...), trace.dropped
+}
+
+// SpanStat aggregates the completed spans of one name.
+type SpanStat struct {
+	Count        int     `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MinSeconds   float64 `json:"min_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+}
+
+// SpanStats folds the trace buffer into per-name statistics — the
+// digest the text and JSON exporters print.
+func SpanStats() map[string]SpanStat {
+	recs, _ := TraceRecords()
+	stats := make(map[string]SpanStat)
+	for _, r := range recs {
+		s := stats[r.Name]
+		sec := r.Dur.Seconds()
+		if s.Count == 0 || sec < s.MinSeconds {
+			s.MinSeconds = sec
+		}
+		if sec > s.MaxSeconds {
+			s.MaxSeconds = sec
+		}
+		s.Count++
+		s.TotalSeconds += sec
+		stats[r.Name] = s
+	}
+	return stats
+}

@@ -12,7 +12,17 @@ package parallel
 import (
 	"runtime"
 	"sync"
+
+	"computecovid19/internal/obs"
 )
+
+// chunksSpawned counts goroutine chunks launched by For/Reduce — the
+// inline (workers == 1) fast path spawns none and is not counted, which
+// the regression tests pin.
+var chunksSpawned = obs.GetCounter("parallel_chunks_spawned_total")
+
+// ChunksSpawned reports the lifetime count of spawned chunks.
+func ChunksSpawned() uint64 { return chunksSpawned.Value() }
 
 // DefaultWorkers reports the worker count used when a caller passes
 // workers <= 0: the current GOMAXPROCS setting.
@@ -41,18 +51,38 @@ func For(n, workers int, fn func(lo, hi int)) {
 	}
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
+	spawned := uint64(0)
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
+		spawned++
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
 			fn(lo, hi)
 		}(lo, hi)
 	}
+	chunksSpawned.Add(spawned)
 	wg.Wait()
+}
+
+// ForTimed is For wrapped in an obs span named "parallel/<name>" with
+// the iteration space and worker count attached — the telemetry-aware
+// entry point for coarse-grained loops (per-slice enhancement, cohort
+// scoring). Fine-grained kernel loops should keep calling For: the span
+// is only worth its ~300 ns when the body runs long enough to see on a
+// trace.
+func ForTimed(name string, n, workers int, fn func(lo, hi int)) {
+	var sp *obs.Span
+	if obs.Enabled() { // keep the name concat off the disabled path
+		sp = obs.Start("parallel/" + name)
+		sp.SetAttr("n", n)
+		sp.SetAttr("workers", workers)
+	}
+	For(n, workers, fn)
+	sp.End()
 }
 
 // ForEach runs fn once per index in [0, n), distributing indices across
@@ -103,6 +133,7 @@ func Reduce[T any](n, workers int, zero T, fold func(acc T, i int) T, merge func
 	}
 	chunk := (n + workers - 1) / workers
 	nchunks := (n + chunk - 1) / chunk
+	chunksSpawned.Add(uint64(nchunks))
 	partial := make([]T, nchunks)
 	var wg sync.WaitGroup
 	for c := 0; c < nchunks; c++ {

@@ -9,10 +9,31 @@
 package workflow
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"time"
+
+	"computecovid19/internal/obs"
 )
+
+// workflowBuckets spans seconds to multiple days — the range between
+// the CT pipeline's AI stages and RT-PCR courier batching.
+func workflowBuckets() []float64 { return obs.ExpBuckets(1, 4, 12) }
+
+// stageHists returns the queue-wait and service-time histograms for one
+// (pipeline, stage) pair. Durations are *simulated* time, recorded so
+// the discrete-event runs export per-stage distributions instead of
+// only end-to-end turnaround percentiles.
+func stageHists(pipeline, stage string) (wait, service *obs.Histogram) {
+	wait = obs.GetHistogram(
+		fmt.Sprintf("workflow_queue_wait_seconds{pipeline=%q,stage=%q}", pipeline, stage),
+		workflowBuckets())
+	service = obs.GetHistogram(
+		fmt.Sprintf("workflow_service_seconds{pipeline=%q,stage=%q}", pipeline, stage),
+		workflowBuckets())
+	return wait, service
+}
 
 // Stage is one step of a diagnostic pipeline.
 type Stage struct {
@@ -98,9 +119,16 @@ func Run(p Pipeline, patients int, arrivalWindow time.Duration, rng *rand.Rand) 
 	}
 	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
 
+	sp := obs.Start("workflow/run")
+	if sp != nil {
+		sp.SetAttr("pipeline", p.Name)
+		sp.SetAttr("patients", patients)
+	}
+	defer sp.End()
+
 	ready := arrivals // time each job becomes available to the next stage
 	for _, st := range p.Stages {
-		ready = runStage(st, ready, rng)
+		ready = runStage(p.Name, st, ready, rng)
 	}
 
 	turnaround := make([]time.Duration, patients)
@@ -124,8 +152,11 @@ func Run(p Pipeline, patients int, arrivalWindow time.Duration, rng *rand.Rand) 
 }
 
 // runStage pushes jobs with the given ready times through one stage and
-// returns their completion times (in input order).
-func runStage(st Stage, ready []time.Duration, rng *rand.Rand) []time.Duration {
+// returns their completion times (in input order). Per-job queue wait
+// (batch formation + server contention) and per-batch service times are
+// recorded into the stage's obs histograms in simulated seconds.
+func runStage(pipeline string, st Stage, ready []time.Duration, rng *rand.Rand) []time.Duration {
+	waitH, serviceH := stageHists(pipeline, st.Name)
 	n := len(ready)
 	out := make([]time.Duration, n)
 
@@ -190,8 +221,10 @@ func runStage(st Stage, ready []time.Duration, rng *rand.Rand) []time.Duration {
 		dur := st.Duration(rng)
 		end := start + dur
 		free[best] = end
+		serviceH.Observe(dur.Seconds())
 		for _, idx := range b.jobs {
 			out[idx] = end
+			waitH.Observe((start - ready[idx]).Seconds())
 		}
 	}
 	return out
