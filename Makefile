@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench clean
+.PHONY: build test race vet bench ci clean
 
 build:
 	$(GO) build ./...
@@ -9,12 +9,17 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages: the obs metric registry
-# and span buffer, the parallel-for pool, and the DDP trainer.
+# and span buffer, the parallel-for pool, the DDP trainer, and the
+# inference server (worker pool + micro-batcher + admission control).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/parallel/... ./internal/distrib/...
+	$(GO) test -race ./internal/obs/... ./internal/parallel/... ./internal/distrib/... ./internal/serve/...
 
 vet:
 	$(GO) vet ./...
+
+# The full gate CI runs: build, vet, the whole test suite, and the
+# race-detector pass over the concurrent packages.
+ci: build vet test race
 
 # Disabled-telemetry overhead (must stay in the single-digit ns/op
 # range) plus the parallel-for overhead benchmark.

@@ -34,6 +34,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file on exit")
 	metricsPath := flag.String("metrics", "", "write metrics on exit (.json = JSON dump, else Prometheus text)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	serveOut := flag.String("serveout", "", "write the serving benchmark's machine-readable report here (BENCH_serve.json)")
 	flag.Parse()
 
 	flush, err := obs.Setup(*tracePath, *metricsPath, *pprofAddr)
@@ -90,6 +91,7 @@ func main() {
 		{"turnaround", func() string { return experiments.Turnaround(cfg) }},
 		{"ablation", func() string { return experiments.Ablation(cfg) }},
 		{"dimensionality", func() string { return experiments.Dimensionality(cfg) }},
+		{"serve", func() string { return experiments.ServeBench(cfg, *serveOut) }},
 	}
 	for _, it := range items {
 		if !sel(it.name) {

@@ -1,0 +1,115 @@
+// Command ccserve runs the ComputeCOVID19+ pipeline as a batched
+// inference service: an HTTP/JSON API backed by a warm worker pool, a
+// micro-batching scheduler for Enhancement AI, bounded-queue admission
+// control, and a content-addressed result cache.
+//
+// Usage:
+//
+//	ccserve [-addr :8844] [-workers 4] [-queue 128] [-batch 8] ...
+//
+// API:
+//
+//	POST /v1/scan        {"d":8,"h":32,"w":32,"data":[...HU...]}  → 202 {"id":...}
+//	GET  /v1/scan/{id}                                            → job state + result
+//	GET  /healthz /readyz /metrics
+//
+// Overload answers 429 with Retry-After; SIGINT/SIGTERM triggers a
+// graceful drain (stop admitting, finish every accepted scan, then shut
+// the listener down).
+//
+// The demo binary serves randomly-initialized demo-scale networks — it
+// demonstrates the serving architecture, not trained diagnosis; training
+// is cmd/cctrain's job.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"computecovid19/internal/classify"
+	"computecovid19/internal/core"
+	"computecovid19/internal/ddnet"
+	"computecovid19/internal/obs"
+	"computecovid19/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8844", "listen address")
+	workers := flag.Int("workers", 4, "pipeline worker replicas")
+	queue := flag.Int("queue", 128, "admission queue depth (full queue answers 429)")
+	batch := flag.Int("batch", 8, "enhancement micro-batch size")
+	batchTimeout := flag.Duration("batch-timeout", 2*time.Millisecond, "micro-batch fill timeout")
+	cacheSize := flag.Int("cache", 256, "result cache entries (negative disables)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max time to finish accepted scans on shutdown")
+	enhance := flag.Bool("enhance", true, "serve with Enhancement AI (false = segment+classify only)")
+	seed := flag.Int64("seed", 1, "demo-weight initialization seed")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
+	flag.Parse()
+
+	flush, err := obs.Setup(*tracePath, "", *pprofAddr)
+	if err != nil {
+		log.Fatalf("ccserve: %v", err)
+	}
+	defer flush()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var enhancer *ddnet.DDnet
+	if *enhance {
+		enhancer = ddnet.New(rng, ddnet.TinyConfig())
+	}
+	pipeline := core.NewPipeline(enhancer, classify.New(rng, classify.SmallConfig()))
+
+	s, err := serve.New(serve.Config{
+		Pipeline:        pipeline,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		BatchSize:       *batch,
+		BatchTimeout:    *batchTimeout,
+		CacheSize:       *cacheSize,
+		DefaultDeadline: *deadline,
+		ModelVersion:    fmt.Sprintf("demo-seed%d", *seed),
+	})
+	if err != nil {
+		log.Fatalf("ccserve: %v", err)
+	}
+	s.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	go func() {
+		<-ctx.Done()
+		log.Printf("ccserve: signal received, draining (up to %v)...", *drainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		// Drain first so clients can still poll for their results while
+		// accepted scans finish; then close the listener.
+		if err := s.Drain(drainCtx); err != nil {
+			log.Printf("ccserve: drain: %v", err)
+		}
+		shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("ccserve: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("ccserve: serving on %s (workers=%d queue=%d batch=%d cache=%d enhance=%v)",
+		*addr, *workers, *queue, *batch, *cacheSize, *enhance)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("ccserve: %v", err)
+	}
+	log.Printf("ccserve: drained and stopped")
+}

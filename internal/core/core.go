@@ -27,14 +27,21 @@ import (
 // split of Figure 4. Metric handles are atomics; span collection costs
 // ~3 ns per site while disabled (see internal/obs).
 var (
-	scanSeconds         = obs.GetHistogram("pipeline_scan_seconds", nil)
-	scansTotal          = obs.GetCounter("pipeline_scans_total")
-	stageEnhanceSeconds = obs.GetHistogram(`pipeline_stage_seconds{stage="enhance"}`, nil)
-	stageSegmentSeconds = obs.GetHistogram(`pipeline_stage_seconds{stage="segment"}`, nil)
-	stageClassifySecs   = obs.GetHistogram(`pipeline_stage_seconds{stage="classify"}`, nil)
-	trainStepSeconds    = obs.GetHistogram("train_step_seconds", nil)
-	trainStepLoss       = obs.GetGauge("train_step_loss")
+	scanSeconds          = obs.GetHistogram("pipeline_scan_seconds", nil)
+	scansTotal           = obs.GetCounter("pipeline_scans_total")
+	stageEnhanceSeconds  = stageHistogram("enhance")
+	stageSegmentSeconds  = stageHistogram("segment")
+	stageClassifySeconds = stageHistogram("classify")
+	trainStepSeconds     = obs.GetHistogram("train_step_seconds", nil)
+	trainStepLoss        = obs.GetGauge("train_step_loss")
 )
+
+// stageHistogram returns the per-stage latency histogram. All three
+// stages share the pipeline_stage_seconds metric family, distinguished
+// only by the stage label.
+func stageHistogram(stage string) *obs.Histogram {
+	return obs.GetHistogram(`pipeline_stage_seconds{stage="`+stage+`"}`, nil)
+}
 
 // Pipeline is a configured ComputeCOVID19+ instance.
 type Pipeline struct {
@@ -119,7 +126,32 @@ func (p *Pipeline) Diagnose(v *volume.Volume) Result {
 	start := time.Now()
 
 	enhanced := p.enhance(v, sp.Child("core/enhance"))
+	r := p.classifyEnhanced(enhanced, sp)
 
+	scanSeconds.Observe(time.Since(start).Seconds())
+	scansTotal.Inc()
+	sp.End()
+	return r
+}
+
+// Classify runs the tail of Diagnose — segmentation, masking,
+// classification — on an already-enhanced HU volume. It exists for
+// serving paths that enhance volumes out of band (internal/serve batches
+// enhancement across concurrent scans) and counts as a completed scan in
+// the pipeline metrics. On a warm pipeline (see Warm) it is safe for
+// concurrent use.
+func (p *Pipeline) Classify(enhanced *volume.Volume) Result {
+	sp := obs.Start("core/diagnose")
+	start := time.Now()
+	r := p.classifyEnhanced(enhanced, sp)
+	scanSeconds.Observe(time.Since(start).Seconds())
+	scansTotal.Inc()
+	sp.End()
+	return r
+}
+
+// classifyEnhanced is the shared segmentation + classification tail.
+func (p *Pipeline) classifyEnhanced(enhanced *volume.Volume, sp *obs.Span) Result {
 	segSp := sp.Child("core/segment")
 	segStart := time.Now()
 	masked, mask := segment.Apply(enhanced, p.SegOpts)
@@ -129,17 +161,31 @@ func (p *Pipeline) Diagnose(v *volume.Volume) Result {
 	clsSp := sp.Child("core/classify")
 	clsStart := time.Now()
 	prob := p.Classifier.Predict(masked.Normalized(p.WindowLo, p.WindowHi))
-	stageClassifySecs.Observe(time.Since(clsStart).Seconds())
+	stageClassifySeconds.Observe(time.Since(clsStart).Seconds())
 	clsSp.End()
 
-	scanSeconds.Observe(time.Since(start).Seconds())
-	scansTotal.Inc()
-	sp.End()
 	return Result{
 		Probability: prob,
 		Positive:    prob >= p.Threshold,
 		Enhanced:    enhanced,
 		LungMask:    mask,
+	}
+}
+
+// Warm prepares the pipeline for concurrent inference: both learned
+// stages are switched to eval mode once, up front, so hot-path calls
+// (Enhance, Classify, Diagnose, Predict) perform no writes to shared
+// model state. nn.BatchNorm.SetTraining skips redundant writes, so after
+// Warm the per-call SetTraining(false) in ddnet.Enhance and
+// classify.Predict is a pure read — worker pools may share one set of
+// weights without racing. Serving replicas must call Warm before going
+// concurrent.
+func (p *Pipeline) Warm() {
+	if p.Enhancer != nil {
+		p.Enhancer.SetTraining(false)
+	}
+	if p.Classifier != nil {
+		p.Classifier.SetTraining(false)
 	}
 }
 

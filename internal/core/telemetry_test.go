@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"computecovid19/internal/classify"
+	"computecovid19/internal/obs"
+)
+
+// TestStageHistogramsShareFamily pins the label-style convention: the
+// three pipeline stages must report into one pipeline_stage_seconds
+// metric family, distinguished only by the stage label — a single # TYPE
+// line with three labeled series in the Prometheus exposition.
+func TestStageHistogramsShareFamily(t *testing.T) {
+	for _, h := range []*obs.Histogram{stageEnhanceSeconds, stageSegmentSeconds, stageClassifySeconds} {
+		if h == nil {
+			t.Fatal("stage histogram handle is nil")
+		}
+	}
+	var buf bytes.Buffer
+	if err := obs.Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "# TYPE pipeline_stage_seconds histogram"); got != 1 {
+		t.Fatalf("pipeline_stage_seconds declared %d times, want one shared family", got)
+	}
+	for _, stage := range []string{"enhance", "segment", "classify"} {
+		series := `pipeline_stage_seconds_count{stage="` + stage + `"`
+		if !strings.Contains(out, series) {
+			t.Fatalf("missing stage series %s in exposition:\n%s", series, out)
+		}
+	}
+}
+
+// TestClassifyMatchesDiagnose checks that the serving-path tail
+// (Classify on an externally enhanced volume) agrees with Diagnose when
+// enhancement is disabled, and that it is race-free on a warm pipeline.
+func TestClassifyMatchesDiagnose(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cls := classify.New(rng, classify.SmallConfig())
+	p := NewPipeline(nil, cls)
+	p.Warm()
+	cases := smallCohort(t, 2, 31)
+
+	want := p.Diagnose(cases[0].Volume)
+	got := p.Classify(cases[0].Volume)
+	if got.Probability != want.Probability || got.Positive != want.Positive {
+		t.Fatalf("Classify %+v != Diagnose %+v", got.Probability, want.Probability)
+	}
+
+	// Concurrent Classify on shared weights must be safe after Warm
+	// (run under -race via make ci).
+	done := make(chan float64, 4)
+	for i := 0; i < 4; i++ {
+		go func() { done <- p.Classify(cases[1].Volume).Probability }()
+	}
+	first := <-done
+	for i := 1; i < 4; i++ {
+		if v := <-done; v != first {
+			t.Fatalf("concurrent Classify diverged: %v != %v", v, first)
+		}
+	}
+}

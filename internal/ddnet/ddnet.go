@@ -259,14 +259,44 @@ func (m *DDnet) StateTensors() []*tensor.Tensor {
 // Enhance runs the network in eval mode on a single (H, W) image in
 // [0, 1] and returns the enhanced image, clamped back to [0, 1].
 func (m *DDnet) Enhance(img *tensor.Tensor) *tensor.Tensor {
-	if img.Rank() != 2 {
-		panic("ddnet: Enhance wants a rank-2 (H, W) image")
+	return m.EnhanceBatch([]*tensor.Tensor{img})[0]
+}
+
+// EnhanceBatch runs the network in eval mode on a batch of same-size
+// (H, W) images in [0, 1] with a single (N, 1, H, W) forward pass and
+// returns the enhanced images, clamped back to [0, 1]. Every op in the
+// network treats batch samples independently with identical accumulation
+// order, so the outputs are bit-identical to N single-image Enhance
+// calls — the property that lets internal/serve micro-batch slices from
+// different scans without changing results (pinned by a regression
+// test). On a warm network (eval mode already set) concurrent callers
+// must still serialize: one forward pass at a time per weight set.
+func (m *DDnet) EnhanceBatch(imgs []*tensor.Tensor) []*tensor.Tensor {
+	if len(imgs) == 0 {
+		return nil
+	}
+	h, w := imgs[0].Shape[0], imgs[0].Shape[1]
+	for _, img := range imgs {
+		if img.Rank() != 2 {
+			panic("ddnet: EnhanceBatch wants rank-2 (H, W) images")
+		}
+		if img.Shape[0] != h || img.Shape[1] != w {
+			panic("ddnet: EnhanceBatch images must share one size")
+		}
 	}
 	m.SetTraining(false)
-	x := ag.Const(img.Reshape(1, 1, img.Shape[0], img.Shape[1]))
-	out := m.Forward(x)
-	res := out.T.Reshape(img.Shape[0], img.Shape[1]).Clone()
-	return res.Clamp(0, 1)
+	x := tensor.New(len(imgs), 1, h, w)
+	for i, img := range imgs {
+		copy(x.Data[i*h*w:(i+1)*h*w], img.Data)
+	}
+	out := m.Forward(ag.Const(x))
+	res := make([]*tensor.Tensor, len(imgs))
+	for i := range imgs {
+		t := tensor.New(h, w)
+		copy(t.Data, out.T.Data[i*h*w:(i+1)*h*w])
+		res[i] = t.Clamp(0, 1)
+	}
+	return res
 }
 
 // Loss is the paper's composite objective (Equation 1):

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"computecovid19/internal/classify"
+	"computecovid19/internal/core"
+	"computecovid19/internal/dataset"
+	"computecovid19/internal/ddnet"
+	"computecovid19/internal/serve"
+	"computecovid19/internal/tensor"
+	"computecovid19/internal/volume"
+	"computecovid19/internal/workflow"
+)
+
+// ServeBench measures the batched inference server end to end: it
+// builds a demo-scale pipeline, profiles the per-stage service times,
+// derives the workflow simulator's predicted throughput from them, and
+// then hammers the real HTTP server with closed-loop clients to compare
+// measurement against prediction. When outPath is non-empty the
+// machine-readable report is written there (the BENCH_serve.json
+// format).
+func ServeBench(cfg Config, outPath string) string {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	enh := ddnet.New(rng, ddnet.TinyConfig())
+	cls := classify.New(rng, classify.SmallConfig())
+	p := core.NewPipeline(enh, cls)
+
+	cohortCfg := dataset.DefaultCohortConfig()
+	cohortCfg.Count = 4
+	cohortCfg.Seed = cfg.Seed + 1
+	cases := dataset.BuildCohort(cohortCfg)
+
+	workers := 4
+	batch := cohortCfg.Depth
+	requests, concurrency := 96, 16
+	if cfg.Quick {
+		requests, concurrency = 24, 8
+	}
+
+	// Profile the two worker-side stages and the amortized batched slice
+	// forward, then predict throughput with the discrete-event serving
+	// model before measuring it.
+	enhSlice, segClsScan := profileStages(p, cases[0], batch)
+	model := workflow.ServeModel{
+		Workers: workers, BatchSize: batch, BatchTimeout: 2 * time.Millisecond,
+		SlicesPerScan: cohortCfg.Depth, EnhanceSlice: enhSlice,
+		Segment: segClsScan, // measured jointly; Classify stays 0
+	}
+	predicted := model.PredictedThroughput()
+
+	s, err := serve.New(serve.Config{
+		Pipeline: p, Workers: workers, QueueDepth: 2 * requests,
+		BatchSize: batch, BatchTimeout: 2 * time.Millisecond,
+		CacheSize: -1, // unique volumes; measure the pipeline, not the cache
+	})
+	if err != nil {
+		return "serve bench: " + err.Error()
+	}
+	s.Start()
+	vols := make([]*volume.Volume, len(cases))
+	for i, c := range cases {
+		vols[i] = c.Volume
+	}
+	opts := serve.LoadOptions{
+		Requests:    requests,
+		Concurrency: concurrency,
+		Volumes:     vols,
+		Perturb:     true,
+		Seed:        cfg.Seed + 2,
+	}
+	rep, err := serve.RunLoad(s, opts)
+	if err != nil {
+		return "serve bench: " + err.Error()
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	drainErr := s.Drain(drainCtx)
+	cancel()
+
+	if outPath != "" {
+		if err := rep.WriteBenchJSON(outPath); err != nil {
+			return "serve bench: " + err.Error()
+		}
+	}
+
+	t := &table{header: []string{"metric", "value"}}
+	t.add("requests", fmt.Sprintf("%d (%d clients)", rep.Requests, rep.Concurrency))
+	t.add("completed / rejected(429) / failed",
+		fmt.Sprintf("%d / %d / %d", rep.Completed, rep.Rejected, rep.Failed))
+	t.add("throughput", fmt.Sprintf("%.2f scans/s", rep.RPS))
+	t.add("latency p50 / p95 / p99",
+		fmt.Sprintf("%.1f / %.1f / %.1f ms", rep.P50MS, rep.P95MS, rep.P99MS))
+	t.add("mean micro-batch", fmt.Sprintf("%.2f slices", rep.MeanBatch))
+	t.add("profiled enhance/slice", fmt.Sprintf("%.2f ms", enhSlice.Seconds()*1e3))
+	t.add("profiled segment+classify/scan", fmt.Sprintf("%.2f ms", segClsScan.Seconds()*1e3))
+	t.add("simulator predicted throughput", fmt.Sprintf("%.2f scans/s", predicted))
+	if predicted > 0 {
+		t.add("measured / predicted", fmt.Sprintf("%.2f", rep.RPS/predicted))
+	}
+
+	var b strings.Builder
+	b.WriteString("Serving benchmark — internal/serve (batched inference server)\n")
+	fmt.Fprintf(&b, "Demo-scale pipeline: %d workers, micro-batch %d, %d×%d×%d volumes.\n\n",
+		workers, batch, cohortCfg.Depth, cohortCfg.Size, cohortCfg.Size)
+	b.WriteString(t.String())
+	if drainErr != nil {
+		fmt.Fprintf(&b, "drain error: %v\n", drainErr)
+	}
+	if outPath != "" {
+		fmt.Fprintf(&b, "\nwrote %s\n", outPath)
+	}
+	return b.String()
+}
+
+// profileStages times one amortized batched slice forward and the
+// worker-side segment+classify tail, averaged over a few repetitions
+// after a warm-up pass.
+func profileStages(p *core.Pipeline, c dataset.Case, batch int) (enhSlice, segClsScan time.Duration) {
+	const reps = 3
+	v := c.Volume
+
+	// Amortized per-slice forward inside a full batch.
+	imgs := make([]*tensor.Tensor, batch)
+	for i := range imgs {
+		img := tensor.New(v.H, v.W)
+		copy(img.Data, v.Slice(i%v.D))
+		imgs[i] = img
+	}
+	p.Enhancer.EnhanceBatch(imgs) // warm-up
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		p.Enhancer.EnhanceBatch(imgs)
+	}
+	enhSlice = time.Since(start) / time.Duration(reps*batch)
+
+	// Segment+classify on an (already enhanced) volume.
+	p.Classify(v) // warm-up
+	start = time.Now()
+	for r := 0; r < reps; r++ {
+		p.Classify(v)
+	}
+	segClsScan = time.Since(start) / reps
+	return enhSlice, segClsScan
+}

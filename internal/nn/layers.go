@@ -157,8 +157,15 @@ func (l *BatchNorm) Forward(x *ag.Value) *ag.Value {
 // Params returns γ and β.
 func (l *BatchNorm) Params() []*ag.Value { return []*ag.Value{l.Gamma, l.Beta} }
 
-// SetTraining selects batch versus running statistics.
-func (l *BatchNorm) SetTraining(train bool) { l.training = train }
+// SetTraining selects batch versus running statistics. The write is
+// skipped when the mode is unchanged, so once a network is in eval mode
+// (core.Pipeline.Warm) repeated SetTraining(false) calls from concurrent
+// inference paths are pure reads and race-free.
+func (l *BatchNorm) SetTraining(train bool) {
+	if l.training != train {
+		l.training = train
+	}
+}
 
 func (l *BatchNorm) stateTensors() []*tensor.Tensor {
 	return []*tensor.Tensor{l.RunningMean, l.RunningVar}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"time"
+
+	"computecovid19/internal/ddnet"
+	"computecovid19/internal/obs"
+	"computecovid19/internal/tensor"
+)
+
+// batcher is the micro-batching scheduler for Enhancement AI. Workers
+// submit normalized slices from the scans they are processing; the
+// batcher groups them — across scans — into one (N, 1, H, W) DDnet
+// forward pass per batch. A batch departs when it fills to size or when
+// its oldest slice has waited timeout, mirroring the fill-or-timeout
+// batching the workflow simulator models for RT-PCR thermocycler plates.
+//
+// The batcher goroutine is the only code that touches the enhancement
+// network, so the shared weights need no locking; EnhanceBatch is
+// bit-identical to the single-slice path, so batching never changes
+// results.
+type batcher struct {
+	net     *ddnet.DDnet
+	size    int
+	timeout time.Duration
+	reqs    chan enhReq
+	done    chan struct{}
+}
+
+// enhReq is one slice awaiting enhancement. out is buffered (capacity
+// one), so the batcher never blocks delivering a result.
+type enhReq struct {
+	img *tensor.Tensor
+	out chan *tensor.Tensor
+}
+
+func newBatcher(net *ddnet.DDnet, size int, timeout time.Duration) *batcher {
+	return &batcher{
+		net:     net,
+		size:    size,
+		timeout: timeout,
+		// Room for several in-flight scans' worth of slices before
+		// submitters block; the batcher drains continuously either way.
+		reqs: make(chan enhReq, 8*size),
+		done: make(chan struct{}),
+	}
+}
+
+// submit queues one normalized (H, W) slice and returns the channel its
+// enhanced slice will arrive on. Callers submit all their slices before
+// receiving any result, so slices from one scan can fill a batch.
+func (b *batcher) submit(img *tensor.Tensor) chan *tensor.Tensor {
+	out := make(chan *tensor.Tensor, 1)
+	b.reqs <- enhReq{img: img, out: out}
+	return out
+}
+
+// stop closes the intake and waits for the final flush.
+func (b *batcher) stop() {
+	close(b.reqs)
+	<-b.done
+}
+
+func (b *batcher) run() {
+	defer close(b.done)
+	var pending []enhReq
+	var oldest time.Time
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		sp := obs.Start("serve/enhance_batch")
+		sp.SetAttr("batch", len(pending))
+		start := time.Now()
+		imgs := make([]*tensor.Tensor, len(pending))
+		for i, r := range pending {
+			imgs[i] = r.img
+		}
+		outs := b.net.EnhanceBatch(imgs)
+		enhanceBatchSeconds.Observe(time.Since(start).Seconds())
+		batchSizeHist.Observe(float64(len(pending)))
+		for i, r := range pending {
+			r.out <- outs[i]
+		}
+		pending = pending[:0]
+		sp.End()
+	}
+	for {
+		var expiry <-chan time.Time
+		if len(pending) > 0 {
+			expiry = time.After(time.Until(oldest.Add(b.timeout)))
+		}
+		select {
+		case r, ok := <-b.reqs:
+			if !ok {
+				flush()
+				return
+			}
+			// Mixed slice geometries cannot share a forward pass; flush
+			// the current batch on a shape change.
+			if len(pending) > 0 && !sameShape(r.img, pending[0].img) {
+				flush()
+			}
+			if len(pending) == 0 {
+				oldest = time.Now()
+			}
+			pending = append(pending, r)
+			if len(pending) >= b.size {
+				flush()
+			}
+		case <-expiry:
+			flush()
+		}
+	}
+}
+
+func sameShape(a, b *tensor.Tensor) bool {
+	return a.Shape[0] == b.Shape[0] && a.Shape[1] == b.Shape[1]
+}

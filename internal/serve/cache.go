@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a thread-safe LRU of scan results, content-addressed by
+// volume hash + model version (see Server.cacheKey). A nil *resultCache
+// is the disabled cache: get always misses, put is a no-op.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res ScanResult
+}
+
+// newResultCache returns a cache holding up to capacity entries, or nil
+// (disabled) when capacity < 0.
+func newResultCache(capacity int) *resultCache {
+	if capacity < 0 {
+		return nil
+	}
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *resultCache) get(key string) (ScanResult, bool) {
+	if c == nil {
+		return ScanResult{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return ScanResult{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *resultCache) put(key string, res ScanResult) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"computecovid19/internal/volume"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states, in lifecycle order. Failed covers both pipeline errors and
+// deadline expiry (the error message distinguishes them).
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// job is one accepted scan request. All mutable fields are guarded by
+// the owning store's mutex.
+type job struct {
+	id        string
+	vol       *volume.Volume
+	key       string
+	submitted time.Time
+	deadline  time.Time
+
+	state    State
+	cached   bool
+	result   *ScanResult
+	err      string
+	finished time.Time
+}
+
+// JobView is the client-facing JSON rendering of a job.
+type JobView struct {
+	ID        string      `json:"id"`
+	State     State       `json:"state"`
+	Cached    bool        `json:"cached,omitempty"`
+	Result    *ScanResult `json:"result,omitempty"`
+	Error     string      `json:"error,omitempty"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+// store tracks every job the server has accepted, by id.
+type store struct {
+	mu   sync.Mutex
+	seq  uint64
+	jobs map[string]*job
+}
+
+func newStore() *store {
+	return &store{jobs: make(map[string]*job)}
+}
+
+func (st *store) newJob(vol *volume.Volume, key string, deadline time.Time) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	j := &job{
+		id:        fmt.Sprintf("scan-%06d", st.seq),
+		vol:       vol,
+		key:       key,
+		submitted: time.Now(),
+		deadline:  deadline,
+		state:     StateQueued,
+	}
+	st.jobs[j.id] = j
+	return j
+}
+
+// drop removes a job that was never admitted (queue full, draining).
+func (st *store) drop(j *job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.jobs, j.id)
+}
+
+func (st *store) setRunning(j *job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j.state = StateRunning
+}
+
+func (st *store) finish(j *job, res ScanResult) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j.state = StateDone
+	j.result = &res
+	j.finished = time.Now()
+}
+
+// finishCached completes a job from a cache hit, before it ever queued.
+func (st *store) finishCached(j *job, res ScanResult) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j.state = StateDone
+	j.cached = true
+	j.result = &res
+	j.finished = time.Now()
+}
+
+func (st *store) fail(j *job, msg string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j.state = StateFailed
+	j.err = msg
+	j.finished = time.Now()
+}
+
+func (st *store) view(j *job) JobView {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.viewLocked(j)
+}
+
+func (st *store) viewByID(id string) (JobView, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return st.viewLocked(j), true
+}
+
+func (st *store) viewLocked(j *job) JobView {
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return JobView{
+		ID:        j.id,
+		State:     j.state,
+		Cached:    j.cached,
+		Result:    j.result,
+		Error:     j.err,
+		ElapsedMS: end.Sub(j.submitted).Seconds() * 1e3,
+	}
+}
+
+// counts tallies jobs by state — the drain test's bookkeeping.
+func (st *store) counts() map[State]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[State]int)
+	for _, j := range st.jobs {
+		out[j.state]++
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"computecovid19/internal/obs"
+	"computecovid19/internal/volume"
+)
+
+// LoadOptions drives RunLoad, the closed-loop load generator behind
+// cmd/ccbench's BENCH_serve.json.
+type LoadOptions struct {
+	// Requests is the total number of scans to submit.
+	Requests int
+	// Concurrency is the number of closed-loop clients.
+	Concurrency int
+	// Volumes are the request bodies, cycled through by the clients.
+	Volumes []*volume.Volume
+	// Perturb adds one ±1 HU voxel of client-local noise per request so
+	// every submission is unique and the run measures the pipeline, not
+	// the result cache. Each client perturbs with its own injected
+	// *rand.Rand — no shared source, no lock contention.
+	Perturb bool
+	// Seed derives the per-client RNGs.
+	Seed int64
+	// PollInterval is the result-poll period (default 2 ms).
+	PollInterval time.Duration
+}
+
+// LoadReport is the machine-readable outcome of a load run — the
+// requests/sec and latency-percentile trajectory ccbench tracks across
+// PRs, plus the batch-size distribution the micro-batcher achieved.
+type LoadReport struct {
+	Requests    int     `json:"requests"`
+	Completed   int     `json:"completed"`
+	Rejected    int     `json:"rejected"`
+	Failed      int     `json:"failed"`
+	Concurrency int     `json:"concurrency"`
+	Seconds     float64 `json:"seconds"`
+	RPS         float64 `json:"rps"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	// MeanBatch is the average micro-batch size over the run; Batches is
+	// the per-bucket (≤ upper edge) count distribution.
+	MeanBatch float64           `json:"mean_batch"`
+	Batches   map[string]uint64 `json:"batch_size_buckets,omitempty"`
+}
+
+// RunLoad hammers a started Server through its real HTTP handler with
+// Concurrency closed-loop clients and reports throughput, latency
+// percentiles, and the observed batch-size distribution. Rejected (429)
+// submissions are retried after the advertised backoff, so every request
+// eventually lands unless it fails outright.
+func RunLoad(s *Server, opt LoadOptions) (LoadReport, error) {
+	if len(opt.Volumes) == 0 {
+		return LoadReport{}, fmt.Errorf("serve: RunLoad needs at least one volume")
+	}
+	if opt.Requests <= 0 {
+		opt.Requests = 64
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 8
+	}
+	if opt.PollInterval <= 0 {
+		opt.PollInterval = 2 * time.Millisecond
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	batchCountBefore, batchSumBefore := batchSizeHist.Count(), batchSizeHist.Sum()
+	batchCumBefore := batchSizeHist.Cumulative()
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		rejected  int
+		failed    int
+	)
+	next := make(chan int)
+	go func() {
+		for i := 0; i < opt.Requests; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < opt.Concurrency; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + int64(client)))
+			httpc := ts.Client()
+			for i := range next {
+				lat, retries, err := submitAndWait(httpc, ts.URL, opt, rng, i)
+				mu.Lock()
+				rejected += retries
+				if err != nil {
+					failed++
+				} else {
+					latencies = append(latencies, lat.Seconds()*1e3)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := LoadReport{
+		Requests:    opt.Requests,
+		Completed:   len(latencies),
+		Rejected:    rejected,
+		Failed:      failed,
+		Concurrency: opt.Concurrency,
+		Seconds:     elapsed,
+		RPS:         float64(len(latencies)) / elapsed,
+		P50MS:       percentile(latencies, 0.50),
+		P95MS:       percentile(latencies, 0.95),
+		P99MS:       percentile(latencies, 0.99),
+	}
+	if n := batchSizeHist.Count() - batchCountBefore; n > 0 {
+		rep.MeanBatch = (batchSizeHist.Sum() - batchSumBefore) / float64(n)
+		rep.Batches = batchDelta(batchSizeHist.Bounds(), batchCumBefore, batchSizeHist.Cumulative())
+	}
+	return rep, nil
+}
+
+// submitAndWait posts one scan and polls until it completes, retrying
+// 429s after the advertised Retry-After-style backoff (scaled down for
+// in-process runs). It returns the end-to-end latency and how many 429s
+// were absorbed along the way.
+func submitAndWait(httpc *http.Client, baseURL string, opt LoadOptions, rng *rand.Rand, i int) (time.Duration, int, error) {
+	v := opt.Volumes[i%len(opt.Volumes)]
+	req := ScanRequest{D: v.D, H: v.H, W: v.W, Data: v.Data}
+	if opt.Perturb {
+		data := append([]float32(nil), v.Data...)
+		data[rng.Intn(len(data))] += float32(rng.Float64()*2 - 1)
+		req.Data = data
+	}
+	body, _ := json.Marshal(req)
+
+	start := time.Now()
+	retries := 0
+	var view JobView
+	for {
+		resp, err := httpc.Post(baseURL+"/v1/scan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, retries, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			resp.Body.Close()
+			retries++
+			time.Sleep(opt.PollInterval)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return 0, retries, fmt.Errorf("submit: status %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			resp.Body.Close()
+			return 0, retries, err
+		}
+		resp.Body.Close()
+		break
+	}
+	for view.State != StateDone && view.State != StateFailed {
+		time.Sleep(opt.PollInterval)
+		resp, err := httpc.Get(baseURL + "/v1/scan/" + view.ID)
+		if err != nil {
+			return 0, retries, err
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			resp.Body.Close()
+			return 0, retries, err
+		}
+		resp.Body.Close()
+	}
+	if view.State == StateFailed {
+		return 0, retries, fmt.Errorf("scan %s failed: %s", view.ID, view.Error)
+	}
+	return time.Since(start), retries, nil
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	vals := append([]float64(nil), sorted...)
+	sort.Float64s(vals)
+	idx := int(math.Ceil(p*float64(len(vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx]
+}
+
+// batchDelta converts two cumulative histogram snapshots into the
+// per-bucket counts observed between them, keyed by upper bucket edge.
+func batchDelta(bounds []float64, before, after []uint64) map[string]uint64 {
+	out := make(map[string]uint64)
+	prevB, prevA := uint64(0), uint64(0)
+	for i := range after {
+		le := "+Inf"
+		if i < len(bounds) {
+			le = fmt.Sprintf("%g", bounds[i])
+		}
+		b, a := uint64(0), uint64(0)
+		if i < len(before) {
+			b = before[i]
+		}
+		a = after[i]
+		if d := (a - prevA) - (b - prevB); d > 0 {
+			out["le_"+le] = d
+		}
+		prevB, prevA = b, a
+	}
+	return out
+}
+
+// WriteBenchJSON writes the report as indented JSON plus the serving
+// counters — the BENCH_serve.json format.
+func (r LoadReport) WriteBenchJSON(path string) error {
+	type benchFile struct {
+		LoadReport
+		Counters map[string]uint64 `json:"counters"`
+	}
+	dump := obs.Default.Snapshot()
+	counters := make(map[string]uint64)
+	for name, v := range dump.Counters {
+		if len(name) > 6 && name[:6] == "serve_" {
+			counters[name] = v
+		}
+	}
+	data, err := json.MarshalIndent(benchFile{LoadReport: r, Counters: counters}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

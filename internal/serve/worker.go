@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"computecovid19/internal/ctsim"
+	"computecovid19/internal/obs"
+	"computecovid19/internal/tensor"
+	"computecovid19/internal/volume"
+)
+
+// worker is one replica loop: it pulls admitted jobs off the queue and
+// runs the diagnostic pipeline on them. All workers share the warm
+// pipeline's weights (read-only after Pipeline.Warm); enhancement routes
+// through the micro-batcher, segmentation + classification run in the
+// worker itself via core.Pipeline.Classify.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		queueDepth.Add(-1)
+		s.process(j)
+	}
+}
+
+func (s *Server) process(j *job) {
+	sp := obs.Start("serve/process")
+	defer sp.End()
+	s.store.setRunning(j)
+
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		deadlinesTotal.Inc()
+		s.store.fail(j, "deadline exceeded before processing began")
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.store.fail(j, fmt.Sprintf("pipeline panic: %v", r))
+		}
+	}()
+
+	var res ScanResult
+	if s.cfg.Process != nil {
+		r := s.cfg.Process(j.vol)
+		res = ScanResult{Probability: r.Probability, Positive: r.Positive}
+	} else {
+		enhanced := s.enhanceVolume(j.vol)
+		r := s.cfg.Pipeline.Classify(enhanced)
+		res = ScanResult{Probability: r.Probability, Positive: r.Positive}
+	}
+
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		deadlinesTotal.Inc()
+		s.store.fail(j, "deadline exceeded during processing")
+		return
+	}
+	s.cache.put(j.key, res)
+	s.store.finish(j, res)
+	requestSeconds.Observe(time.Since(j.submitted).Seconds())
+}
+
+// enhanceVolume runs Enhancement AI over an HU volume through the
+// micro-batcher: all D slices are submitted up front (so one scan can
+// fill a batch by itself) and collected in order. Without an enhancer
+// the input volume passes through unchanged, matching
+// core.Pipeline.Enhance semantics.
+func (s *Server) enhanceVolume(v *volume.Volume) *volume.Volume {
+	if s.batcher == nil {
+		return v
+	}
+	p := s.cfg.Pipeline
+	outs := make([]chan *tensor.Tensor, v.D)
+	for z := 0; z < v.D; z++ {
+		img := tensor.New(v.H, v.W)
+		sl := v.Slice(z)
+		for i, hu := range sl {
+			img.Data[i] = float32(ctsim.NormalizeHU(float64(hu), p.WindowLo, p.WindowHi))
+		}
+		outs[z] = s.batcher.submit(img)
+	}
+	out := volume.New(v.D, v.H, v.W)
+	for z := 0; z < v.D; z++ {
+		enh := <-outs[z]
+		dst := out.Slice(z)
+		for i, val := range enh.Data {
+			dst[i] = float32(ctsim.DenormalizeHU(float64(val), p.WindowLo, p.WindowHi))
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package workflow
+
+import (
+	"time"
+)
+
+// ServeModel is the discrete-event model of internal/serve: a
+// micro-batching enhancement stage owned by a single batcher goroutine
+// feeding a pool of Workers that each run segmentation +
+// classification. It lets the simulator predict the throughput ccserve
+// should sustain from per-stage service times measured offline, so the
+// measured BENCH_serve.json numbers have an analytic baseline to be
+// compared against (see EXPERIMENTS.md).
+type ServeModel struct {
+	// Workers is the segment+classify worker-pool size (serve.Config.Workers).
+	Workers int
+	// BatchSize and BatchTimeout mirror the micro-batcher configuration.
+	BatchSize    int
+	BatchTimeout time.Duration
+	// SlicesPerScan is D, the axial slice count per submitted volume.
+	SlicesPerScan int
+	// EnhanceSlice is the amortized per-slice DDnet forward time inside a
+	// full batch. Zero models a server running without an enhancer.
+	EnhanceSlice time.Duration
+	// Segment and Classify are the per-scan service times of the two
+	// worker-side stages.
+	Segment  time.Duration
+	Classify time.Duration
+}
+
+// enhancePerScan is the enhancement service time for one whole scan on
+// the single batcher server: all D slices are submitted up front, so a
+// scan occupies the batcher for D amortized slice-forwards.
+func (m ServeModel) enhancePerScan() time.Duration {
+	if m.SlicesPerScan <= 0 || m.EnhanceSlice <= 0 {
+		return 0
+	}
+	return time.Duration(m.SlicesPerScan) * m.EnhanceSlice
+}
+
+// scanBatch is the micro-batch size in scans. A scan's slices are
+// submitted together, so when D >= BatchSize one scan fills batches by
+// itself and cross-scan batching only happens for shallower volumes.
+func (m ServeModel) scanBatch() int {
+	if m.SlicesPerScan <= 0 || m.BatchSize <= m.SlicesPerScan {
+		return 1
+	}
+	return m.BatchSize / m.SlicesPerScan
+}
+
+// ServingPipeline maps the serving architecture onto the simulator's
+// stage machinery: a single-server batched enhancement stage followed by
+// a Workers-wide segment+classify stage.
+func (m ServeModel) ServingPipeline() Pipeline {
+	workers := m.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	stages := []Stage{}
+	if enh := m.enhancePerScan(); enh > 0 {
+		stages = append(stages, Stage{
+			Name:         "enhance (micro-batched)",
+			Duration:     Fixed(enh),
+			Servers:      1,
+			BatchSize:    m.scanBatch(),
+			BatchTimeout: m.BatchTimeout,
+		})
+	}
+	stages = append(stages, Stage{
+		Name:     "segment+classify",
+		Duration: Fixed(m.Segment + m.Classify),
+		Servers:  workers,
+	})
+	return Pipeline{Name: "ccserve", Stages: stages}
+}
+
+// PredictedThroughput returns the saturated steady-state scan rate in
+// scans/second: the stage rates are 1/enhancePerScan (one batcher) and
+// Workers/(Segment+Classify) (the pool), and the pipeline runs at the
+// slower of the two.
+func (m ServeModel) PredictedThroughput() float64 {
+	workers := m.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	rate := float64(workers) / (m.Segment + m.Classify).Seconds()
+	if enh := m.enhancePerScan(); enh > 0 {
+		if enhRate := 1 / enh.Seconds(); enhRate < rate {
+			rate = enhRate
+		}
+	}
+	return rate
+}

@@ -1,0 +1,56 @@
+package workflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPredictedThroughputBottleneck(t *testing.T) {
+	// Worker pool is the bottleneck: 4 workers at 100 ms per scan = 40
+	// scans/s; the batcher does 8 slices at 1 ms = 125 scans/s.
+	m := ServeModel{
+		Workers: 4, BatchSize: 8, BatchTimeout: 2 * time.Millisecond,
+		SlicesPerScan: 8, EnhanceSlice: time.Millisecond,
+		Segment: 80 * time.Millisecond, Classify: 20 * time.Millisecond,
+	}
+	if got, want := m.PredictedThroughput(), 40.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("pool-bound throughput %v, want %v", got, want)
+	}
+	// Make the single batcher the bottleneck: 8 slices at 10 ms = 12.5
+	// scans/s versus the pool's 40.
+	m.EnhanceSlice = 10 * time.Millisecond
+	if got, want := m.PredictedThroughput(), 12.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("batcher-bound throughput %v, want %v", got, want)
+	}
+	// No enhancer: rate is just the pool's.
+	m.EnhanceSlice = 0
+	if got, want := m.PredictedThroughput(), 40.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("enhancerless throughput %v, want %v", got, want)
+	}
+}
+
+// TestServingPipelineMatchesPrediction cross-checks the analytic
+// bottleneck rate against the discrete-event simulation of the same
+// model: a saturated arrival burst through ServingPipeline must drain at
+// roughly PredictedThroughput.
+func TestServingPipelineMatchesPrediction(t *testing.T) {
+	m := ServeModel{
+		Workers: 4, BatchSize: 16, BatchTimeout: 2 * time.Millisecond,
+		SlicesPerScan: 8, EnhanceSlice: 2 * time.Millisecond,
+		Segment: 90 * time.Millisecond, Classify: 30 * time.Millisecond,
+	}
+	const patients = 400
+	rng := rand.New(rand.NewSource(1))
+	// Arrival window 0: every scan is queued at t=0, so the makespan is
+	// the saturated drain time and patients/makespan is the sustained
+	// rate.
+	res := Run(m.ServingPipeline(), patients, 0, rng)
+	simulated := float64(patients) / res.Max.Seconds()
+	predicted := m.PredictedThroughput()
+	if ratio := simulated / predicted; ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("simulated %.2f scans/s vs predicted %.2f (ratio %.3f)",
+			simulated, predicted, ratio)
+	}
+}
