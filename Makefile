@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test race vet bench ci clean
+# Benchmark time per case; CI overrides with BENCHTIME=1x so the bench
+# targets stay in seconds, local runs can use e.g. BENCHTIME=500ms.
+BENCHTIME ?=
+BENCHFLAGS = -bench . -benchmem -run '^$$' $(if $(BENCHTIME),-benchtime=$(BENCHTIME))
+
+.PHONY: build test race vet fmt bench benchcheck ci clean
 
 build:
 	$(GO) build ./...
@@ -9,23 +14,36 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages: the obs metric registry
-# and span buffer, the parallel-for pool, the DDP trainer, and the
-# inference server (worker pool + micro-batcher + admission control).
+# and span buffer, the parallel-for pool, the kernel-registry tiling,
+# the DDP trainer, and the inference server (worker pool +
+# micro-batcher + admission control).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/parallel/... ./internal/distrib/... ./internal/serve/...
+	$(GO) test -race ./internal/obs/... ./internal/parallel/... ./internal/kernels/... ./internal/distrib/... ./internal/serve/...
 
 vet:
 	$(GO) vet ./...
+
+# Fail when any file is not gofmt-clean (CI lint job).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # The full gate CI runs: build, vet, the whole test suite, and the
 # race-detector pass over the concurrent packages.
 ci: build vet test race
 
 # Disabled-telemetry overhead (must stay in the single-digit ns/op
-# range) plus the parallel-for overhead benchmark.
+# range), the parallel-for overhead benchmark, and the kernel
+# optimization-ladder rungs.
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' ./internal/obs/
-	$(GO) test -bench . -benchmem -run '^$$' ./internal/parallel/
+	$(GO) test $(BENCHFLAGS) ./internal/obs/
+	$(GO) test $(BENCHFLAGS) ./internal/parallel/
+	$(GO) test $(BENCHFLAGS) ./internal/kernels/
+
+# Benchmark-regression gate: benchmark a baseline checkout (BASE_REF,
+# default origin/main or HEAD~1) against HEAD and fail on >15% ns/op
+# regressions. See scripts/benchcheck.sh for the knobs.
+benchcheck:
+	./scripts/benchcheck.sh
 
 clean:
 	$(GO) clean ./...

@@ -57,7 +57,7 @@ func BenchmarkTable4_HeterogeneousInference(b *testing.B) {
 }
 
 func BenchmarkTable5_KernelTimes(b *testing.B) {
-	cc := kernels.DDnetCounts(ddnet.PaperConfig(), 512)
+	cc := kernels.DDnetCounts(ddnet.PaperConfig().Arch(), 512)
 	v100, _ := device.PlatformByName("Nvidia V100 GPU")
 	for i := 0; i < b.N; i++ {
 		t := v100.Project(cc, kernels.REFPFLU, false)
@@ -74,7 +74,7 @@ func BenchmarkTable5_MeasuredKernelsThisMachine(b *testing.B) {
 	b.ResetTimer()
 	var total kernels.Timing
 	for i := 0; i < b.N; i++ {
-		total.Add(kernels.RunDDnetInference(cfg, 64, kernels.REFPFLU, 0, rng))
+		total.Add(kernels.RunDDnetInference(cfg.Arch(), 64, kernels.REFPFLU, 0, rng))
 	}
 	n := float64(b.N)
 	b.ReportMetric(total.Conv.Seconds()/n, "conv-s/op")
@@ -101,7 +101,7 @@ func BenchmarkTable7_OptimizationLadder(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for vi, v := range variants {
-			t := kernels.RunDDnetInference(cfg, 48, v, 0, rng)
+			t := kernels.RunDDnetInference(cfg.Arch(), 48, v, 0, rng)
 			b.ReportMetric(t.Total().Seconds(), names[vi])
 		}
 	}

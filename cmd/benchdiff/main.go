@@ -1,0 +1,108 @@
+// Command benchdiff compares two `go test -bench` outputs and exits
+// non-zero when the second (HEAD) regresses ns/op by more than
+// -threshold percent on any benchmark present in both files. Repeated
+// runs of one benchmark (go test -count=N) are folded by taking the
+// minimum ns/op — the cost floor is the quantity of interest; the
+// mean is polluted by scheduler noise. Benchmarks present on only one
+// side are listed and skipped, so renames and additions never trip
+// the gate.
+//
+// Usage: benchdiff [-threshold 15] base.txt head.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse returns the per-benchmark minimum ns/op of one output file.
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	min := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := min[m[1]]; !ok || ns < prev {
+			min[m[1]] = ns
+		}
+	}
+	return min, sc.Err()
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 15, "allowed ns/op regression in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] base.txt head.txt")
+		os.Exit(2)
+	}
+	base, err := parse(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	head, err := parse(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	var names []string
+	for name := range base {
+		if _, ok := head[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var regressions int
+	for _, name := range names {
+		b, h := base[name], head[name]
+		pct := (h - b) / b * 100
+		mark := " "
+		if pct > *threshold {
+			mark = "!"
+			regressions++
+		}
+		fmt.Printf("%s %-60s %12.1f -> %12.1f ns/op  %+7.1f%%\n", mark, name, b, h, pct)
+	}
+	for name := range base {
+		if _, ok := head[name]; !ok {
+			fmt.Printf("  %-60s only in baseline (skipped)\n", name)
+		}
+	}
+	for name := range head {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("  %-60s only in HEAD (skipped)\n", name)
+		}
+	}
+
+	if len(names) == 0 {
+		fmt.Println("benchdiff: no common benchmarks; nothing to gate")
+		return
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%%\n",
+			regressions, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmark(s) within %.0f%%\n", len(names), *threshold)
+}

@@ -35,6 +35,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write metrics on exit (.json = JSON dump, else Prometheus text)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	serveOut := flag.String("serveout", "", "write the serving benchmark's machine-readable report here (BENCH_serve.json)")
+	kernelsOut := flag.String("kernelsout", "", "write the kernel ladder benchmark's machine-readable report here (BENCH_kernels.json)")
 	flag.Parse()
 
 	flush, err := obs.Setup(*tracePath, *metricsPath, *pprofAddr)
@@ -92,6 +93,7 @@ func main() {
 		{"ablation", func() string { return experiments.Ablation(cfg) }},
 		{"dimensionality", func() string { return experiments.Dimensionality(cfg) }},
 		{"serve", func() string { return experiments.ServeBench(cfg, *serveOut) }},
+		{"kernels", func() string { return experiments.KernelsBench(cfg, *kernelsOut) }},
 	}
 	for _, it := range items {
 		if !sel(it.name) {

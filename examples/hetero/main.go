@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	cc := kernels.DDnetCounts(ddnet.PaperConfig(), 512)
+	cc := kernels.DDnetCounts(ddnet.PaperConfig().Arch(), 512)
 	fmt.Printf("paper DDnet at 512²: conv %.1f GFLOP, deconv %.1f GFLOP, %.1f GB raw traffic\n\n",
 		float64(cc.Conv.Flops)/1e9, float64(cc.Deconv.Flops)/1e9,
 		float64(cc.Total().Bytes())/1e9)
@@ -37,7 +37,7 @@ func main() {
 	rng := rand.New(rand.NewSource(1))
 	fmt.Printf("measured on this machine (Go kernels, DDnet at %d²):\n", size)
 	for _, v := range []kernels.Variant{kernels.Baseline, kernels.REF, kernels.REFPF, kernels.REFPFLU} {
-		t := kernels.RunDDnetInference(ddnet.PaperConfig(), size, v, 0, rng)
+		t := kernels.RunDDnetInference(ddnet.PaperConfig().Arch(), size, v, 0, rng)
 		fmt.Printf("  %-26s conv %7.3fs  deconv %7.3fs  other %6.3fs  total %7.3fs\n",
 			v, t.Conv.Seconds(), t.Deconv.Seconds(), t.Other.Seconds(), t.Total().Seconds())
 	}

@@ -83,6 +83,21 @@ func ConvTranspose2D(x, w, b *Value, cfg Conv2DConfig) *Value {
 		}
 	})
 
+	return newConvTranspose2DNode(x, w, b, cfg, out)
+}
+
+// newConvTranspose2DNode wraps a precomputed transposed-convolution
+// output in a tape node whose backward closures implement the standard
+// gradients. The closures read only the inputs and the output
+// gradient, so any forward algorithm (direct gather loops, the
+// internal/kernels registry rungs) can share them.
+func newConvTranspose2DNode(x, w, b *Value, cfg Conv2DConfig, out *tensor.Tensor) *Value {
+	n, cin, h, wd := x.T.Shape[0], x.T.Shape[1], x.T.Shape[2], x.T.Shape[3]
+	cout, kh, kw := w.T.Shape[1], w.T.Shape[2], w.T.Shape[3]
+	s, p := cfg.Stride, cfg.Padding
+	oh, ow := out.Shape[2], out.Shape[3]
+	xd, wdta := x.T.Data, w.T.Data
+
 	parents := []*Value{x, w}
 	if b != nil {
 		parents = append(parents, b)

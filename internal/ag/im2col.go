@@ -1,6 +1,7 @@
 package ag
 
 import (
+	"computecovid19/internal/kernels"
 	"computecovid19/internal/parallel"
 	"computecovid19/internal/tensor"
 )
@@ -72,10 +73,20 @@ func matmulNT(a, b, c []float32, m, kk, n, workers int) {
 	})
 }
 
-// Conv2DFast is a drop-in replacement for Conv2D whose forward pass uses
-// im2col + matrix multiplication. Gradients are computed with the same
-// formulas as Conv2D (the backward pass does not materialize the patch
-// matrix).
+// sameConvShape reports whether the layer is a stride-1 "same"
+// convolution with an odd square kernel — the family internal/kernels'
+// optimization-ladder rungs cover (every DDnet layer qualifies).
+func sameConvShape(kh, kw, stride, pad int) bool {
+	return kh == kw && kh%2 == 1 && stride == 1 && pad == kh/2
+}
+
+// Conv2DFast is a drop-in replacement for Conv2D whose forward pass
+// dispatches to the selected internal/kernels optimization-ladder rung
+// (kernels.Default, normally the im2col + cache-blocked GEMM path) for
+// stride-1 "same" odd-square-kernel layers, and otherwise uses the
+// package-local im2col + matrix multiplication. Gradients are computed
+// with the same formulas as Conv2D (the backward pass does not
+// materialize the patch matrix).
 func Conv2DFast(x, w, b *Value, cfg Conv2DConfig) *Value {
 	n, cin, h, wd := x.T.Shape[0], x.T.Shape[1], x.T.Shape[2], x.T.Shape[3]
 	cout, _, kh, kw := w.T.Shape[0], w.T.Shape[1], w.T.Shape[2], w.T.Shape[3]
@@ -89,6 +100,20 @@ func Conv2DFast(x, w, b *Value, cfg Conv2DConfig) *Value {
 		return Conv2D(x, w, b, cfg)
 	}
 
+	if sameConvShape(kh, kw, s, p) {
+		im := kernels.Default()
+		out := tensor.New(n, cout, oh, ow)
+		ks := kernels.ConvShape{InC: cin, H: h, W: wd, OutC: cout, K: kh}
+		plane := cin * h * wd
+		oplane := cout * oh * ow
+		for ni := 0; ni < n; ni++ {
+			im.Conv(x.T.Data[ni*plane:(ni+1)*plane], w.T.Data,
+				out.Data[ni*oplane:(ni+1)*oplane], ks, 0)
+		}
+		addBias(out.Data, b, n, cout, oh*ow)
+		return newConv2DNode(x, w, b, cfg, out)
+	}
+
 	out := tensor.New(n, cout, oh, ow)
 	patchRows := cin * kh * kw
 	cols := oh * ow
@@ -99,17 +124,52 @@ func Conv2DFast(x, w, b *Value, cfg Conv2DConfig) *Value {
 		matmulNT(w.T.Data, patch, out.Data[ni*cout*cols:(ni+1)*cout*cols],
 			cout, patchRows, cols, 0)
 	}
-	if b != nil {
-		for ni := 0; ni < n; ni++ {
-			for co := 0; co < cout; co++ {
-				base := (ni*cout + co) * cols
-				bias := b.T.Data[co]
-				for i := 0; i < cols; i++ {
-					out.Data[base+i] += bias
-				}
+	addBias(out.Data, b, n, cout, cols)
+
+	return newConv2DNode(x, w, b, cfg, out)
+}
+
+// addBias adds the per-channel bias to an (N, C, spatial) buffer after
+// the matrix multiply (a no-op for nil bias).
+func addBias(out []float32, b *Value, n, cout, cols int) {
+	if b == nil {
+		return
+	}
+	for ni := 0; ni < n; ni++ {
+		for co := 0; co < cout; co++ {
+			base := (ni*cout + co) * cols
+			bias := b.T.Data[co]
+			for i := 0; i < cols; i++ {
+				out[base+i] += bias
 			}
 		}
 	}
+}
 
-	return newConv2DNode(x, w, b, cfg, out)
+// ConvTranspose2DFast is a drop-in replacement for ConvTranspose2D
+// whose forward pass dispatches stride-1 "same" odd-square-kernel
+// layers — all of DDnet's deconvolutions — to the selected
+// internal/kernels rung (kernels.Default, normally the gather + GEMM
+// formulation from §4.2.1, which has no scatter races and so
+// parallelizes over output tiles). Other shapes fall back to the
+// direct gather loops. Gradients are identical to ConvTranspose2D's.
+func ConvTranspose2DFast(x, w, b *Value, cfg Conv2DConfig) *Value {
+	n, cin, h, wd := x.T.Shape[0], x.T.Shape[1], x.T.Shape[2], x.T.Shape[3]
+	cout, kh, kw := w.T.Shape[1], w.T.Shape[2], w.T.Shape[3]
+	s, p := cfg.Stride, cfg.Padding
+	if !sameConvShape(kh, kw, s, p) {
+		return ConvTranspose2D(x, w, b, cfg)
+	}
+	// Stride-1 "same" transposed convolution preserves the spatial size.
+	out := tensor.New(n, cout, h, wd)
+	im := kernels.Default()
+	ks := kernels.ConvShape{InC: cin, H: h, W: wd, OutC: cout, K: kh}
+	plane := cin * h * wd
+	oplane := cout * h * wd
+	for ni := 0; ni < n; ni++ {
+		im.Deconv(x.T.Data[ni*plane:(ni+1)*plane], w.T.Data,
+			out.Data[ni*oplane:(ni+1)*oplane], ks, 0)
+	}
+	addBias(out.Data, b, n, cout, h*wd)
+	return newConvTranspose2DNode(x, w, b, cfg, out)
 }

@@ -25,6 +25,7 @@ import (
 	"strconv"
 
 	"computecovid19/internal/ag"
+	"computecovid19/internal/kernels"
 	"computecovid19/internal/nn"
 	"computecovid19/internal/obs"
 	"computecovid19/internal/tensor"
@@ -56,6 +57,19 @@ type Config struct {
 	InitStd float64
 	// Slope is the leaky-ReLU negative slope.
 	Slope float32
+}
+
+// Arch converts the configuration to the dependency-free shape mirror
+// the low-level kernel walkers (kernels.RunDDnetInference,
+// kernels.DDnetCounts) take.
+func (c Config) Arch() kernels.Arch {
+	return kernels.Arch{
+		BaseChannels: c.BaseChannels,
+		Growth:       c.Growth,
+		DenseLayers:  c.DenseLayers,
+		Kernel:       c.Kernel,
+		Stages:       c.Stages,
+	}
 }
 
 // PaperConfig returns the Table 2 architecture (16 base channels,

@@ -9,7 +9,7 @@ import (
 )
 
 func paperCounts() kernels.ClassCounts {
-	return kernels.DDnetCounts(ddnet.PaperConfig(), 512)
+	return kernels.DDnetCounts(ddnet.PaperConfig().Arch(), 512)
 }
 
 func within(got, want, relTol float64) bool {
@@ -181,8 +181,8 @@ func TestFPGAReconfigOverhead(t *testing.T) {
 // Scaling property: halving the image halves (quadratically) every
 // projected time; the model must be monotone in problem size.
 func TestProjectionMonotoneInSize(t *testing.T) {
-	small := kernels.DDnetCounts(ddnet.PaperConfig(), 256)
-	big := kernels.DDnetCounts(ddnet.PaperConfig(), 512)
+	small := kernels.DDnetCounts(ddnet.PaperConfig().Arch(), 256)
+	big := kernels.DDnetCounts(ddnet.PaperConfig().Arch(), 512)
 	for _, p := range Catalog() {
 		ts := p.Project(small, kernels.REF, false).Total()
 		tb := p.Project(big, kernels.REF, false).Total()

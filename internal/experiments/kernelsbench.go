@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"computecovid19/internal/kernels"
+)
+
+// KernelLayerResult is one (rung, layer-shape) cell of the kernel
+// benchmark: best-of-reps wall time, achieved GFLOP/s under the Table 6
+// operation model, and speedup over the naive rung on the same shape.
+type KernelLayerResult struct {
+	Layer          string  `json:"layer"`
+	Kind           string  `json:"kind"` // "conv" or "deconv"
+	Seconds        float64 `json:"seconds"`
+	GFLOPS         float64 `json:"gflops"`
+	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
+}
+
+// KernelRungResult aggregates one ladder rung: its per-layer cells plus
+// a whole-DDnet inference measured through the roofline instrumentation.
+type KernelRungResult struct {
+	Rung                string              `json:"rung"`
+	Desc                string              `json:"desc"`
+	Layers              []KernelLayerResult `json:"layers"`
+	DDnetSeconds        float64             `json:"ddnet_seconds"`
+	DDnetGFLOPS         float64             `json:"ddnet_gflops"`
+	DDnetSpeedupVsNaive float64             `json:"ddnet_speedup_vs_naive"`
+}
+
+// KernelsReport is the BENCH_kernels.json schema consumed by CI (the
+// benchcheck workflow uploads it as an artifact) and by EXPERIMENTS.md.
+type KernelsReport struct {
+	Bench     string             `json:"bench"` // "kernels"
+	Size      int                `json:"size"`  // Table 2 trunk resolution used
+	DDnetSize int                `json:"ddnet_size"`
+	Workers   int                `json:"workers"` // per-kernel worker count (1 = pure kernel quality)
+	MaxProcs  int                `json:"maxprocs"`
+	Rungs     []KernelRungResult `json:"rungs"`
+}
+
+// kernelTime returns the best-of-reps wall time of one kernel call
+// (after one warm-up call), the standard way to suppress scheduler
+// noise when the quantity of interest is the kernel's cost floor.
+func kernelTime(reps int, f func()) float64 {
+	f() // warm-up: page in buffers, spin up worker pool
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		f()
+		if s := time.Since(start).Seconds(); r == 0 || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// KernelsBench measures the optimization ladder rung by rung: every
+// registry rung on every representative Table 2 layer shape, plus one
+// whole-DDnet inference per rung, all against the naive rung as the
+// speedup baseline (the paper's Table 7 methodology, with the GEMM rung
+// extending the ladder past the paper's last column). Per-layer kernels
+// run single-threaded so the speedups isolate kernel quality from
+// parallel scaling — Table 4/5 (experiments.Table4) covers scaling.
+// When outPath is non-empty the machine-readable KernelsReport is
+// written there (the BENCH_kernels.json format).
+func KernelsBench(cfg Config, outPath string) string {
+	size, ddnetSize, reps := 256, 96, 3
+	if cfg.Quick {
+		size, ddnetSize, reps = 64, 32, 2
+	}
+	shapes := kernels.Table2Shapes(size)
+	names := kernels.Names()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	rep := KernelsReport{
+		Bench: "kernels", Size: size, DDnetSize: ddnetSize,
+		Workers: 1, MaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, name := range names {
+		im := kernels.MustSelect(name)
+		rr := KernelRungResult{Rung: name, Desc: im.Desc}
+		for _, bs := range shapes {
+			s := bs.Shape
+			x := randSlice32(rng, s.InLen())
+			var w []float32
+			var c kernels.Counters
+			kind := "conv"
+			if bs.Deconv {
+				kind = "deconv"
+				w = randSlice32(rng, s.InC*s.OutC*s.K*s.K)
+				c = kernels.DeconvCounters(s)
+			} else {
+				w = randSlice32(rng, s.WeightLen())
+				c = kernels.ConvCounters(s)
+			}
+			out := make([]float32, s.OutLen())
+			secs := kernelTime(reps, func() {
+				if bs.Deconv {
+					im.Deconv(x, w, out, s, rep.Workers)
+				} else {
+					im.Conv(x, w, out, s, rep.Workers)
+				}
+			})
+			rr.Layers = append(rr.Layers, KernelLayerResult{
+				Layer: bs.Name, Kind: kind, Seconds: secs,
+				GFLOPS: float64(c.Flops) / secs / 1e9,
+			})
+		}
+		m := kernels.MeasureDDnetImpl(kernels.PaperArch(), ddnetSize, im, 0, rng)
+		rr.DDnetSeconds = m.Timing.Total().Seconds()
+		rr.DDnetGFLOPS = m.Total().GFLOPS
+		rep.Rungs = append(rep.Rungs, rr)
+	}
+
+	// Speedups against the naive rung (ladder position 0).
+	naive := rep.Rungs[0]
+	for i := range rep.Rungs {
+		rr := &rep.Rungs[i]
+		for j := range rr.Layers {
+			rr.Layers[j].SpeedupVsNaive = naive.Layers[j].Seconds / rr.Layers[j].Seconds
+		}
+		rr.DDnetSpeedupVsNaive = naive.DDnetSeconds / rr.DDnetSeconds
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Kernel optimization ladder — §4.2 rungs on Table 2 layer shapes (size %d, workers %d)\n",
+		size, rep.Workers)
+	b.WriteString("Speedups are vs the naive rung on the same shape; DDnet row is one full inference.\n\n")
+	t := &table{header: append([]string{"layer"}, names...)}
+	for j, bs := range shapes {
+		row := []string{bs.Name}
+		for i := range rep.Rungs {
+			l := rep.Rungs[i].Layers[j]
+			row = append(row, fmt.Sprintf("%6.2f GF/s %5.2fx", l.GFLOPS, l.SpeedupVsNaive))
+		}
+		t.add(row...)
+	}
+	row := []string{fmt.Sprintf("ddnet %d²", ddnetSize)}
+	for i := range rep.Rungs {
+		row = append(row, fmt.Sprintf("%6.1f ms %5.2fx",
+			rep.Rungs[i].DDnetSeconds*1e3, rep.Rungs[i].DDnetSpeedupVsNaive))
+	}
+	t.add(row...)
+	b.WriteString(t.String())
+	b.WriteString("\nPaper Table 7 (OpenCL on Intel CPU): REF 1.9x, +PF 2.2x, +LU 2.7x end-to-end.\n")
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return "kernels bench: " + err.Error()
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return "kernels bench: " + err.Error()
+		}
+		fmt.Fprintf(&b, "\nwrote %s\n", outPath)
+	}
+	return b.String()
+}
+
+func randSlice32(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = rng.Float32() - 0.5
+	}
+	return s
+}

@@ -178,7 +178,7 @@ type Table4Row struct {
 
 // Table4Data projects Table 4 for the paper DDnet at 512².
 func Table4Data() []Table4Row {
-	cc := kernels.DDnetCounts(ddnet.PaperConfig(), 512)
+	cc := kernels.DDnetCounts(ddnet.PaperConfig().Arch(), 512)
 	paperPT := map[string]float64{
 		"Nvidia V100 GPU": 0.22, "Nvidia P100 GPU": 0.73,
 		"Nvidia T4 GPU": 1.29, "Intel Xeon Gold 6128 CPU": 5.52,
@@ -235,14 +235,14 @@ func measuredInferenceNote(cfg Config) string {
 		size = 64
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	tm := kernels.RunDDnetInference(ddnet.PaperConfig(), size, kernels.REFPFLU, 0, rng)
+	tm := kernels.RunDDnetInference(ddnet.PaperConfig().Arch(), size, kernels.REFPFLU, 0, rng)
 	return fmt.Sprintf("Measured on this machine (Go kernels, paper DDnet at %d×%d): conv %.3fs deconv %.3fs other %.3fs total %.3fs\n",
 		size, size, tm.Conv.Seconds(), tm.Deconv.Seconds(), tm.Other.Seconds(), tm.Total().Seconds())
 }
 
 // Table5 renders the per-kernel event times (paper Table 5).
 func Table5(cfg Config) string {
-	cc := kernels.DDnetCounts(ddnet.PaperConfig(), 512)
+	cc := kernels.DDnetCounts(ddnet.PaperConfig().Arch(), 512)
 	type paperRow struct{ conv, deconv, other float64 }
 	paper := map[string]paperRow{
 		"Nvidia V100 GPU":              {0.036, 0.059, 0.004},
@@ -293,7 +293,7 @@ func Table6(cfg Config) string {
 
 // Table7Data projects the optimization ladder for every platform.
 func Table7Data() map[string][4]float64 {
-	cc := kernels.DDnetCounts(ddnet.PaperConfig(), 512)
+	cc := kernels.DDnetCounts(ddnet.PaperConfig().Arch(), 512)
 	out := map[string][4]float64{}
 	for _, p := range device.Catalog() {
 		var row [4]float64
@@ -334,7 +334,7 @@ func Table7(cfg Config) string {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var measured [4]time.Duration
 	for i, v := range []kernels.Variant{kernels.Baseline, kernels.REF, kernels.REFPF, kernels.REFPFLU} {
-		measured[i] = kernels.RunDDnetInference(ddnet.PaperConfig(), size, v, 0, rng).Total()
+		measured[i] = kernels.RunDDnetInference(ddnet.PaperConfig().Arch(), size, v, 0, rng).Total()
 	}
 	note := fmt.Sprintf("Measured on this machine (Go kernels, %d×%d): Baseline %.3fs, +REF %.3fs, +PF %.3fs, +LU %.3fs\n",
 		size, size, measured[0].Seconds(), measured[1].Seconds(), measured[2].Seconds(), measured[3].Seconds())

@@ -4,17 +4,12 @@ import "computecovid19/internal/parallel"
 
 // Conv computes a stride-1 "same" convolution out = w ⊛ x on CHW
 // buffers. Weights are laid out (OutC, InC, K, K). The work is
-// distributed over output channels across workers (<=0 means
-// GOMAXPROCS), mirroring the OpenCL NDRange mapping.
+// distributed across workers (<=0 means GOMAXPROCS), mirroring the
+// OpenCL NDRange mapping. The Variant selects a Table 7 ladder point;
+// rungs beyond the paper's ladder (the gemm path) are reachable via
+// Select.
 func Conv(v Variant, x, w, out []float32, s ConvShape, workers int) {
-	switch v {
-	case Baseline, REF: // REF only changes the deconvolution kernel.
-		convBaseline(x, w, out, s, workers)
-	case REFPF:
-		convPrefetch(x, w, out, s, workers)
-	default:
-		convUnrolled(x, w, out, s, workers)
-	}
+	ByVariant(v).Conv(x, w, out, s, workers)
 }
 
 // convBaseline recomputes every offset in the innermost loops and reads

@@ -1,7 +1,5 @@
 package kernels
 
-import "computecovid19/internal/ddnet"
-
 // Counters tallies the global memory traffic and floating-point work of
 // a kernel, with the accounting conventions of the paper's Table 6:
 // every filter tap contributes two loads (input element and weight) and
@@ -86,7 +84,7 @@ func (c ClassCounts) Total() Counters {
 // accumulates the analytic operation counts per kernel class. Every
 // convolution and deconvolution is followed by batch normalization and
 // leaky ReLU (counted under Other), matching the network definition.
-func DDnetCounts(cfg ddnet.Config, size int) ClassCounts {
+func DDnetCounts(cfg Arch, size int) ClassCounts {
 	var cc ClassCounts
 	addBNAct := func(c, h, w int) {
 		n := c * h * w

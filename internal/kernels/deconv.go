@@ -8,16 +8,7 @@ import "computecovid19/internal/parallel"
 // 299.86 s serial on the Xeon (§5.1.3); REF and above use the gather
 // refactoring of §4.2.1 (Figure 9).
 func Deconv(v Variant, x, w, out []float32, s ConvShape, workers int) {
-	switch v {
-	case Baseline:
-		deconvScatter(x, w, out, s, workers)
-	case REF:
-		deconvGather(x, w, out, s, workers)
-	case REFPF:
-		deconvGatherPrefetch(x, w, out, s, workers)
-	default:
-		deconvGatherUnrolled(x, w, out, s, workers)
-	}
+	ByVariant(v).Deconv(x, w, out, s, workers)
 }
 
 // deconvScatter is Figure 9(a): every input element multiplies the whole

@@ -1,0 +1,178 @@
+package kernels
+
+import "computecovid19/internal/parallel"
+
+// The gemm rung restructures convolution the way cuDNN-class CPU/GPU
+// backends do: im2col turns each output pixel's receptive field into a
+// column of a patch matrix, and the convolution becomes one dense
+// matrix multiply (weights-as-rows × patches-as-columns). Three of the
+// paper's optimization ideas appear here in their cache-hierarchy form:
+//
+//   - cache blocking: output pixels are processed in column tiles sized
+//     so the staged patch panel stays L2-resident per worker;
+//   - PF analogue (§4.2.2): each tile's input loads are staged into the
+//     contiguous panel *before* the multiply sweep, so the hot loop
+//     streams linear memory and never touches scattered input addresses
+//     (tile-level software pipelining of the loads);
+//   - LU analogue (§4.2.2): the micro-kernel unrolls the reduction
+//     (channel × filter-tap) dimension by four while keeping a single
+//     in-order accumulator per output element, so the summation order
+//     matches the naive kernels' and results stay within the oracle
+//     tolerance (zero-padding taps contribute exact float32 zeros).
+//
+// Work is distributed over column tiles, not output channels, so the
+// rung parallelizes cleanly even for the decoder's single-channel
+// final layer.
+
+// gemmPanelFloats caps the staged panel at 256 Ki float32s (1 MiB), a
+// comfortable fit in a per-core L2 alongside the weight rows.
+const gemmPanelFloats = 1 << 18
+
+// convGEMM computes a stride-1 "same" convolution with weights in
+// (OutC, InC, K, K) layout via tiled im2col + GEMM.
+func convGEMM(x, w, out []float32, s ConvShape, workers int) {
+	r := s.InC * s.K * s.K
+	cols := s.H * s.W
+	tile := gemmPanelFloats / r
+	if tile > cols {
+		tile = cols
+	}
+	if tile < 64 {
+		tile = 64
+	}
+	nTiles := (cols + tile - 1) / tile
+	parallel.For(nTiles, workers, func(lo, hi int) {
+		panel := make([]float32, r*tile)
+		for t := lo; t < hi; t++ {
+			c0 := t * tile
+			n := cols - c0
+			if n > tile {
+				n = tile
+			}
+			stagePatchTile(x, panel, s, c0, n, tile)
+			for co := 0; co < s.OutC; co++ {
+				gemmRow(w[co*r:(co+1)*r], panel, out[co*cols+c0:co*cols+c0+n], tile)
+			}
+		}
+	})
+}
+
+// deconvGEMM computes a stride-1 "same" transposed convolution with
+// weights in (InC, OutC, K, K) layout. For stride 1 a transposed
+// convolution is exactly a convolution with the spatially flipped
+// filter, so the weights are transformed once into the (OutC, InC, K,
+// K) flipped layout and the tiled GEMM path does the rest.
+func deconvGEMM(x, w, out []float32, s ConvShape, workers int) {
+	kk := s.K * s.K
+	wc := make([]float32, s.OutC*s.InC*kk)
+	for ci := 0; ci < s.InC; ci++ {
+		for co := 0; co < s.OutC; co++ {
+			src := w[(ci*s.OutC+co)*kk : (ci*s.OutC+co+1)*kk]
+			dst := wc[(co*s.InC+ci)*kk : (co*s.InC+ci+1)*kk]
+			for i := 0; i < kk; i++ {
+				dst[i] = src[kk-1-i]
+			}
+		}
+	}
+	convGEMM(x, wc, out, s, workers)
+}
+
+// stagePatchTile writes the im2col panel for output pixels
+// [c0, c0+n): row (ci·K+ky)·K+kx of the panel holds, for each output
+// pixel, the input element that filter tap (ci, ky, kx) reads, with
+// zero padding materialized. Interior segments are bulk copy()s; only
+// the borders go element-wise (through zeroFill).
+func stagePatchTile(x, panel []float32, s ConvShape, c0, n, pstride int) {
+	h, wd, k := s.H, s.W, s.K
+	pad := k / 2
+	row := 0
+	for ci := 0; ci < s.InC; ci++ {
+		xbase := ci * h * wd
+		for ky := 0; ky < k; ky++ {
+			dy := ky - pad
+			for kx := 0; kx < k; kx++ {
+				dx := kx - pad
+				dst := panel[row*pstride : row*pstride+n]
+				row++
+				j := 0
+				for j < n {
+					col := c0 + j
+					oy, ox := col/wd, col%wd
+					run := wd - ox // output pixels left on this image row
+					if run > n-j {
+						run = n - j
+					}
+					iy := oy + dy
+					if iy < 0 || iy >= h {
+						zeroFill(dst[j : j+run])
+						j += run
+						continue
+					}
+					// Valid input columns: 0 ≤ ox′+dx < wd for
+					// ox′ ∈ [ox, ox+run); zero the clipped edges.
+					lo, hi := ox, ox+run
+					if -dx > lo {
+						lo = -dx
+					}
+					if wd-dx < hi {
+						hi = wd - dx
+					}
+					if hi <= lo {
+						// Fully clipped run: all padding. (Skipping the copy
+						// matters — even an empty src[lo+dx:hi+dx] would be
+						// out of bounds on the image's last row.)
+						zeroFill(dst[j : j+run])
+						j += run
+						continue
+					}
+					src := x[xbase+iy*wd:]
+					zeroFill(dst[j : j+lo-ox])
+					copy(dst[j+lo-ox:j+hi-ox], src[lo+dx:hi+dx])
+					zeroFill(dst[j+hi-ox : j+run])
+					j += run
+				}
+			}
+		}
+	}
+}
+
+func zeroFill(s []float32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// gemmRow computes dst = wrow · panel for one output channel over one
+// column tile: dst[j] = Σ_r wrow[r]·panel[r][j]. The reduction is
+// unrolled ×4 (the LU rung, applied along the channel × tap
+// dimension); each output element keeps a single accumulator updated
+// in ascending-r order, matching the naive kernels' summation order.
+func gemmRow(wrow, panel, dst []float32, pstride int) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	n := len(dst)
+	r := len(wrow)
+	ri := 0
+	for ; ri+4 <= r; ri += 4 {
+		a0, a1, a2, a3 := wrow[ri], wrow[ri+1], wrow[ri+2], wrow[ri+3]
+		p0 := panel[ri*pstride : ri*pstride+n]
+		p1 := panel[(ri+1)*pstride : (ri+1)*pstride+n]
+		p2 := panel[(ri+2)*pstride : (ri+2)*pstride+n]
+		p3 := panel[(ri+3)*pstride : (ri+3)*pstride+n]
+		for j := 0; j < n; j++ {
+			acc := dst[j] + a0*p0[j]
+			acc += a1 * p1[j]
+			acc += a2 * p2[j]
+			acc += a3 * p3[j]
+			dst[j] = acc
+		}
+	}
+	for ; ri < r; ri++ {
+		a := wrow[ri]
+		p := panel[ri*pstride : ri*pstride+n]
+		for j := 0; j < n; j++ {
+			dst[j] += a * p[j]
+		}
+	}
+}

@@ -47,6 +47,37 @@ func (v Variant) String() string {
 	}
 }
 
+// Arch is the subset of the DDnet architecture the kernel-level
+// walkers (RunDDnetInference, DDnetCounts) need: a dependency-free
+// mirror of ddnet.Config's shape fields. Keeping it here lets the
+// autograd fast paths that feed nn/ddnet depend on kernels without an
+// import cycle; ddnet.Config.Arch converts.
+type Arch struct {
+	// BaseChannels is the trunk width F (paper: 16).
+	BaseChannels int
+	// Growth is the dense-block growth rate (paper: 16).
+	Growth int
+	// DenseLayers is the number of densely connected layers per block.
+	DenseLayers int
+	// Kernel is the spatial kernel of growth convolutions and k×k
+	// deconvolutions (paper: 5).
+	Kernel int
+	// Stages is the number of pooling levels / dense blocks.
+	Stages int
+}
+
+// PaperArch returns the Table 2 architecture (ddnet.PaperConfig's
+// shape).
+func PaperArch() Arch {
+	return Arch{BaseChannels: 16, Growth: 16, DenseLayers: 4, Kernel: 5, Stages: 4}
+}
+
+// TinyArch returns the reduced test architecture (ddnet.TinyConfig's
+// shape).
+func TinyArch() Arch {
+	return Arch{BaseChannels: 8, Growth: 8, DenseLayers: 2, Kernel: 3, Stages: 2}
+}
+
 // ConvShape describes a stride-1 "same" convolution or deconvolution
 // layer on a CHW buffer: InC input channels of H×W, OutC outputs, odd
 // square kernel K with padding K/2.

@@ -1,4 +1,7 @@
-package kernels
+// External test package: ag (used for the autograd reference) imports
+// kernels for its inference fast path, so an in-package test would
+// create an import cycle.
+package kernels_test
 
 import (
 	"math"
@@ -7,7 +10,7 @@ import (
 	"testing/quick"
 
 	"computecovid19/internal/ag"
-	"computecovid19/internal/ddnet"
+	. "computecovid19/internal/kernels"
 	"computecovid19/internal/tensor"
 )
 
@@ -225,7 +228,7 @@ func TestCountersLinearity(t *testing.T) {
 // which is what Tables 4–7 depend on; EXPERIMENTS.md records the
 // difference.
 func TestDDnetConvDeconvFlopRatio(t *testing.T) {
-	cc := DDnetCounts(ddnet.PaperConfig(), 512)
+	cc := DDnetCounts(PaperArch(), 512)
 	ratio := float64(cc.Conv.Flops) / float64(cc.Deconv.Flops)
 	if ratio < 0.5 || ratio > 2.6 {
 		t.Fatalf("conv/deconv flop ratio = %.2f, expected same order of magnitude", ratio)
@@ -270,7 +273,7 @@ func TestAnalyticCountsMatchInstrumentedConv(t *testing.T) {
 
 func TestRunDDnetInferenceProducesTimings(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	cfg := ddnet.TinyConfig()
+	cfg := TinyArch()
 	tm := RunDDnetInference(cfg, 32, REFPFLU, 1, rng)
 	if tm.Conv <= 0 || tm.Deconv <= 0 || tm.Other <= 0 {
 		t.Fatalf("timings must be positive: %+v", tm)
@@ -285,7 +288,7 @@ func TestScatterSlowerThanGather(t *testing.T) {
 		t.Skip("timing comparison")
 	}
 	rng := rand.New(rand.NewSource(8))
-	cfg := ddnet.TinyConfig()
+	cfg := TinyArch()
 	// One warmup, then compare. The scatter deconvolution's recurring
 	// global read-modify-writes must cost more than the gather version.
 	RunDDnetInference(cfg, 64, REF, 1, rng)
@@ -305,31 +308,36 @@ func TestVariantStrings(t *testing.T) {
 	}
 }
 
-func BenchmarkConvVariants(b *testing.B) {
+// The rung benchmarks drive every registry entry on a DDnet-like 5×5
+// shape; scripts/benchcheck.sh diffs their ns/op against a baseline
+// checkout, so keep the names stable.
+func BenchmarkConvRungs(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
 	s := ConvShape{InC: 8, H: 64, W: 64, OutC: 8, K: 5}
 	x := randSlice(rng, s.InLen())
 	w := randSlice(rng, s.WeightLen())
 	out := make([]float32, s.OutLen())
-	for _, v := range []Variant{Baseline, REFPF, REFPFLU} {
-		b.Run(v.String(), func(b *testing.B) {
+	for _, name := range Names() {
+		im := MustSelect(name)
+		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				Conv(v, x, w, out, s, 1)
+				im.Conv(x, w, out, s, 1)
 			}
 		})
 	}
 }
 
-func BenchmarkDeconvScatterVsGather(b *testing.B) {
+func BenchmarkDeconvRungs(b *testing.B) {
 	rng := rand.New(rand.NewSource(10))
 	s := ConvShape{InC: 8, H: 64, W: 64, OutC: 8, K: 5}
 	x := randSlice(rng, s.InLen())
 	w := randSlice(rng, s.InC*s.OutC*s.K*s.K)
 	out := make([]float32, s.OutLen())
-	for _, v := range []Variant{Baseline, REF, REFPF, REFPFLU} {
-		b.Run(v.String(), func(b *testing.B) {
+	for _, name := range Names() {
+		im := MustSelect(name)
+		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				Deconv(v, x, w, out, s, 1)
+				im.Deconv(x, w, out, s, 1)
 			}
 		})
 	}

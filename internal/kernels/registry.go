@@ -1,0 +1,174 @@
+package kernels
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Impl is one rung of the optimization ladder: a matched pair of
+// convolution and deconvolution kernels over flat CHW buffers. Rungs
+// are registered in ladder order, selectable by name, and every rung
+// must agree with the "naive" rung to within the accumulation-order
+// tolerance pinned by TestRegistryRungsMatchNaiveOracle.
+type Impl struct {
+	// Name selects the rung (Select); ladder order is Names() order.
+	Name string
+	// Desc is a one-line description for benchmark reports.
+	Desc string
+	// Variant is the closest Table 7 ladder point, used where a rung
+	// must be mapped onto the paper's projection model (device.Project
+	// only distinguishes the four paper columns).
+	Variant Variant
+	// Conv computes a stride-1 "same" convolution (weights OutC,InC,K,K).
+	Conv func(x, w, out []float32, s ConvShape, workers int)
+	// Deconv computes a stride-1 "same" transposed convolution
+	// (weights InC,OutC,K,K).
+	Deconv func(x, w, out []float32, s ConvShape, workers int)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Impl{}
+	ladder   []string // registration order = ladder order
+	defName  string
+)
+
+func register(im *Impl) {
+	if _, dup := registry[im.Name]; dup {
+		panic("kernels: duplicate rung " + im.Name)
+	}
+	registry[im.Name] = im
+	ladder = append(ladder, im.Name)
+}
+
+func init() {
+	register(&Impl{
+		Name:    "naive",
+		Desc:    "direct loops; scatter deconvolution with per-tap index decode",
+		Variant: Baseline,
+		Conv:    convBaseline,
+		Deconv:  deconvScatter,
+	})
+	register(&Impl{
+		Name:    "ref",
+		Desc:    "§4.2.1 refactoring: gather deconvolution, register accumulation",
+		Variant: REF,
+		Conv:    convBaseline,
+		Deconv:  deconvGather,
+	})
+	register(&Impl{
+		Name:    "ref+pf",
+		Desc:    "§4.2.2 prefetching: filter taps staged, bounds hoisted",
+		Variant: REFPF,
+		Conv:    convPrefetch,
+		Deconv:  deconvGatherPrefetch,
+	})
+	register(&Impl{
+		Name:    "ref+pf+lu",
+		Desc:    "§4.2.2 loop unrolling: branch-free unrolled interior sweep",
+		Variant: REFPFLU,
+		Conv:    convUnrolled,
+		Deconv:  deconvGatherUnrolled,
+	})
+	register(&Impl{
+		Name:    "gemm",
+		Desc:    "im2col + cache-blocked GEMM; tile-staged loads, channel-unrolled micro-kernel",
+		Variant: REFPFLU,
+		Conv:    convGEMM,
+		Deconv:  deconvGEMM,
+	})
+	defName = "gemm"
+}
+
+// Select returns the named rung.
+func Select(name string) (*Impl, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	im, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown rung %q (have %v)", name, ladder)
+	}
+	return im, nil
+}
+
+// MustSelect is Select for statically known names.
+func MustSelect(name string) *Impl {
+	im, err := Select(name)
+	if err != nil {
+		panic(err)
+	}
+	return im
+}
+
+// Names returns the rung names in ladder order (naive first, the
+// default fast path last).
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), ladder...)
+}
+
+// Default returns the rung used by the autograd fast paths (and so by
+// nn/ddnet inference). The naive rung stays available as the
+// bit-accuracy oracle.
+func Default() *Impl {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[defName]
+}
+
+// SetDefault switches the rung used by the fast paths; it returns an
+// error for unknown names. Intended for benchmarks and A/B tests; not
+// safe to call concurrently with running inference.
+func SetDefault(name string) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[name]; !ok {
+		return fmt.Errorf("kernels: unknown rung %q (have %v)", name, ladder)
+	}
+	defName = name
+	return nil
+}
+
+// ByVariant maps a Table 7 ladder point to its registry rung. The gemm
+// rung sits beyond the paper's ladder and is reachable only by name.
+func ByVariant(v Variant) *Impl {
+	switch v {
+	case Baseline:
+		return MustSelect("naive")
+	case REF:
+		return MustSelect("ref")
+	case REFPF:
+		return MustSelect("ref+pf")
+	default:
+		return MustSelect("ref+pf+lu")
+	}
+}
+
+// BenchShape names one representative DDnet layer shape for the kernel
+// benchmarks.
+type BenchShape struct {
+	Name   string
+	Shape  ConvShape
+	Deconv bool
+}
+
+// Table2Shapes returns representative DDnet layer shapes from the
+// paper's Table 2 at the given trunk resolution (512 for the paper;
+// benchmarks shrink it). One shape per layer family: the 7×7 stem, the
+// dense-block 1×1 bottleneck and 5×5 growth convolutions, the 1×1
+// transition, and the decoder's 5×5 and 1×1 deconvolutions.
+func Table2Shapes(size int) []BenchShape {
+	a := PaperArch()
+	f, g := a.BaseChannels, a.Growth
+	blockOut := f + a.DenseLayers*g
+	h := size / 2 // first encoder / last decoder stage resolution
+	return []BenchShape{
+		{"stem 7x7", ConvShape{InC: 1, H: size, W: size, OutC: f, K: 7}, false},
+		{"bottleneck 1x1", ConvShape{InC: blockOut - g, H: h, W: h, OutC: 4 * g, K: 1}, false},
+		{"growth 5x5", ConvShape{InC: 4 * g, H: h, W: h, OutC: g, K: a.Kernel}, false},
+		{"transition 1x1", ConvShape{InC: blockOut, H: h, W: h, OutC: f, K: 1}, false},
+		{"deconv 5x5", ConvShape{InC: f + blockOut, H: h, W: h, OutC: 2 * f, K: a.Kernel}, true},
+		{"deconv 1x1", ConvShape{InC: 2 * f, H: h, W: h, OutC: f, K: 1}, true},
+	}
+}

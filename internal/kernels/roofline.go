@@ -3,8 +3,8 @@ package kernels
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
-	"computecovid19/internal/ddnet"
 	"computecovid19/internal/obs"
 )
 
@@ -51,37 +51,57 @@ func (m Measured) Total() Achieved {
 }
 
 // Telemetry handles for the measured roofline. The gauges hold the
-// most recent measurement per class; the counters accumulate lifetime
-// work, mirroring what a hardware counter would report.
+// most recent measurement per (class, rung) pair — one roofline point
+// per optimization-ladder rung — and the counters accumulate lifetime
+// work, mirroring what a hardware counter would report. Gauges are
+// created lazily because the rung set is open (registry).
 var (
 	kernelFlopsTotal = obs.GetCounter("kernels_flops_total")
 	kernelBytesTotal = obs.GetCounter("kernels_bytes_total")
 	kernelSeconds    = obs.GetHistogram("kernels_inference_seconds", nil)
-	gflopsGauges     = map[string]*obs.Gauge{
-		"conv":   obs.GetGauge(`kernels_achieved_gflops{class="conv"}`),
-		"deconv": obs.GetGauge(`kernels_achieved_gflops{class="deconv"}`),
-		"other":  obs.GetGauge(`kernels_achieved_gflops{class="other"}`),
-	}
-	gbpsGauges = map[string]*obs.Gauge{
-		"conv":   obs.GetGauge(`kernels_achieved_gbps{class="conv"}`),
-		"deconv": obs.GetGauge(`kernels_achieved_gbps{class="deconv"}`),
-		"other":  obs.GetGauge(`kernels_achieved_gbps{class="other"}`),
-	}
+
+	gaugeMu     sync.Mutex
+	gflopsByKey = map[string]*obs.Gauge{}
+	gbpsByKey   = map[string]*obs.Gauge{}
 )
 
-// MeasureDDnet runs one full DDnet inference with the given optimization
-// variant, pairs the measured per-class wall time with the static
-// counter model, publishes the operating point to obs (span
-// "kernels/ddnet_inference", flop/byte counters, per-class achieved
-// GFLOP/s and GB/s gauges), and returns the pairing.
-func MeasureDDnet(cfg ddnet.Config, size int, v Variant, workers int, rng *rand.Rand) Measured {
+func rooflineGauges(class, rung string) (gflops, gbps *obs.Gauge) {
+	gaugeMu.Lock()
+	defer gaugeMu.Unlock()
+	key := class + "|" + rung
+	gflops, ok := gflopsByKey[key]
+	if !ok {
+		gflops = obs.GetGauge(fmt.Sprintf(`kernels_achieved_gflops{class=%q,rung=%q}`, class, rung))
+		gflopsByKey[key] = gflops
+	}
+	gbps, ok = gbpsByKey[key]
+	if !ok {
+		gbps = obs.GetGauge(fmt.Sprintf(`kernels_achieved_gbps{class=%q,rung=%q}`, class, rung))
+		gbpsByKey[key] = gbps
+	}
+	return gflops, gbps
+}
+
+// MeasureDDnet runs one full DDnet inference with the given Table 7
+// optimization variant; see MeasureDDnetImpl.
+func MeasureDDnet(cfg Arch, size int, v Variant, workers int, rng *rand.Rand) Measured {
+	return MeasureDDnetImpl(cfg, size, ByVariant(v), workers, rng)
+}
+
+// MeasureDDnetImpl runs one full DDnet inference with the given
+// registry rung, pairs the measured per-class wall time with the
+// static counter model, publishes the operating point to obs (span
+// "kernels/ddnet_inference", flop/byte counters, per-class-and-rung
+// achieved GFLOP/s and GB/s gauges), and returns the pairing.
+func MeasureDDnetImpl(cfg Arch, size int, im *Impl, workers int, rng *rand.Rand) Measured {
 	sp := obs.Start("kernels/ddnet_inference")
 	if sp != nil {
-		sp.SetAttr("variant", v.String())
+		sp.SetAttr("rung", im.Name)
+		sp.SetAttr("variant", im.Variant.String())
 		sp.SetAttr("size", size)
 		sp.SetAttr("workers", workers)
 	}
-	t := RunDDnetInference(cfg, size, v, workers, rng)
+	t := RunDDnetImpl(cfg, size, im, workers, rng)
 	sp.End()
 
 	m := Measured{Timing: t, Counts: DDnetCounts(cfg, size)}
@@ -89,12 +109,14 @@ func MeasureDDnet(cfg ddnet.Config, size int, v Variant, workers int, rng *rand.
 	kernelFlopsTotal.Add(total.Flops)
 	kernelBytesTotal.Add(total.Bytes())
 	kernelSeconds.Observe(t.Total().Seconds())
-	gflopsGauges["conv"].Set(m.Conv().GFLOPS)
-	gflopsGauges["deconv"].Set(m.Deconv().GFLOPS)
-	gflopsGauges["other"].Set(m.Other().GFLOPS)
-	gbpsGauges["conv"].Set(m.Conv().GBps)
-	gbpsGauges["deconv"].Set(m.Deconv().GBps)
-	gbpsGauges["other"].Set(m.Other().GBps)
+	for _, cl := range []struct {
+		name string
+		a    Achieved
+	}{{"conv", m.Conv()}, {"deconv", m.Deconv()}, {"other", m.Other()}} {
+		gflops, gbps := rooflineGauges(cl.name, im.Name)
+		gflops.Set(cl.a.GFLOPS)
+		gbps.Set(cl.a.GBps)
+	}
 	return m
 }
 

@@ -1,4 +1,4 @@
-package kernels
+package kernels_test
 
 import (
 	"bytes"
@@ -6,7 +6,7 @@ import (
 	"strings"
 	"testing"
 
-	"computecovid19/internal/ddnet"
+	. "computecovid19/internal/kernels"
 	"computecovid19/internal/obs"
 )
 
@@ -14,7 +14,7 @@ import (
 // must be finite and positive, consistent with Counters/wall-time
 // division, and published as gauges in the default registry.
 func TestMeasureDDnet(t *testing.T) {
-	m := MeasureDDnet(ddnet.TinyConfig(), 32, REFPFLU, 1, rand.New(rand.NewSource(1)))
+	m := MeasureDDnet(TinyArch(), 32, REFPFLU, 1, rand.New(rand.NewSource(1)))
 
 	tot := m.Total()
 	if tot.Seconds <= 0 {
@@ -35,8 +35,8 @@ func TestMeasureDDnet(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		`kernels_achieved_gflops{class="conv"}`,
-		`kernels_achieved_gbps{class="deconv"}`,
+		`kernels_achieved_gflops{class="conv",rung="ref+pf+lu"}`,
+		`kernels_achieved_gbps{class="deconv",rung="ref+pf+lu"}`,
 		"kernels_flops_total",
 	} {
 		if !strings.Contains(out, want) {

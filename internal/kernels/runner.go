@@ -3,8 +3,6 @@ package kernels
 import (
 	"math/rand"
 	"time"
-
-	"computecovid19/internal/ddnet"
 )
 
 // Timing is the per-kernel-class wall time of one DDnet inference, the
@@ -33,13 +31,19 @@ func (t Timing) Scale(f float64) Timing {
 }
 
 // RunDDnetInference executes the full DDnet inference kernel sequence
+// on a size×size image using the given Table 7 optimization variant.
+// Rungs beyond the paper's ladder run through RunDDnetImpl.
+func RunDDnetInference(cfg Arch, size int, v Variant, workers int, rng *rand.Rand) Timing {
+	return RunDDnetImpl(cfg, size, ByVariant(v), workers, rng)
+}
+
+// RunDDnetImpl executes the full DDnet inference kernel sequence
 // (stem, dense blocks with transitions and pools, un-pooling decoder
-// with global shortcuts) on a size×size image using the given
-// optimization variant, and returns the measured per-class wall time.
-// This is the CPU "OpenCL runtime" measurement feeding Tables 4, 5
-// and 7; weights are random, as only the data movement and arithmetic
-// are being measured.
-func RunDDnetInference(cfg ddnet.Config, size int, v Variant, workers int, rng *rand.Rand) Timing {
+// with global shortcuts) on a size×size image using the given registry
+// rung, and returns the measured per-class wall time. This is the CPU
+// "OpenCL runtime" measurement feeding Tables 4, 5 and 7; weights are
+// random, as only the data movement and arithmetic are being measured.
+func RunDDnetImpl(cfg Arch, size int, im *Impl, workers int, rng *rand.Rand) Timing {
 	var t Timing
 	f := cfg.BaseChannels
 	g := cfg.Growth
@@ -78,7 +82,7 @@ func RunDDnetInference(cfg ddnet.Config, size int, v Variant, workers int, rng *
 	{
 		s := ConvShape{InC: 1, H: h, W: h, OutC: f, K: 7}
 		w := randBuf(s.WeightLen())
-		timeIt(&t.Conv, func() { Conv(v, x, w, cur, s, workers) })
+		timeIt(&t.Conv, func() { im.Conv(x, w, cur, s, workers) })
 		bnAct(cur, f, h)
 	}
 
@@ -101,12 +105,12 @@ func RunDDnetInference(cfg ddnet.Config, size int, v Variant, workers int, rng *
 			s1 := ConvShape{InC: ch, H: h, W: h, OutC: 4 * g, K: 1}
 			mid := make([]float32, s1.OutLen())
 			w1 := randBuf(s1.WeightLen())
-			timeIt(&t.Conv, func() { Conv(v, in, w1, mid, s1, workers) })
+			timeIt(&t.Conv, func() { im.Conv(in, w1, mid, s1, workers) })
 			bnAct(mid, 4*g, h)
 			s2 := ConvShape{InC: 4 * g, H: h, W: h, OutC: g, K: cfg.Kernel}
 			grow := features[ch*h*h : (ch+g)*h*h]
 			w2 := randBuf(s2.WeightLen())
-			timeIt(&t.Conv, func() { Conv(v, mid, w2, grow, s2, workers) })
+			timeIt(&t.Conv, func() { im.Conv(mid, w2, grow, s2, workers) })
 			ch += g
 		}
 		if st < cfg.Stages-1 {
@@ -119,7 +123,7 @@ func RunDDnetInference(cfg ddnet.Config, size int, v Variant, workers int, rng *
 		s := ConvShape{InC: blockOut, H: h, W: h, OutC: f, K: 1}
 		cur = make([]float32, s.OutLen())
 		w := randBuf(s.WeightLen())
-		timeIt(&t.Conv, func() { Conv(v, features, w, cur, s, workers) })
+		timeIt(&t.Conv, func() { im.Conv(features, w, cur, s, workers) })
 		bnAct(cur, f, h)
 	}
 
@@ -139,7 +143,7 @@ func RunDDnetInference(cfg ddnet.Config, size int, v Variant, workers int, rng *
 		sA := ConvShape{InC: f + sc, H: h, W: h, OutC: 2 * f, K: cfg.Kernel}
 		bufA := make([]float32, sA.OutLen())
 		wA := randBuf(sA.WeightLen())
-		timeIt(&t.Deconv, func() { Deconv(v, cat, wA, bufA, sA, workers) })
+		timeIt(&t.Deconv, func() { im.Deconv(cat, wA, bufA, sA, workers) })
 		bnAct(bufA, 2*f, h)
 
 		outCh := f
@@ -149,7 +153,7 @@ func RunDDnetInference(cfg ddnet.Config, size int, v Variant, workers int, rng *
 		sB := ConvShape{InC: 2 * f, H: h, W: h, OutC: outCh, K: 1}
 		cur = make([]float32, sB.OutLen())
 		wB := randBuf(sB.WeightLen())
-		timeIt(&t.Deconv, func() { Deconv(v, bufA, wB, cur, sB, workers) })
+		timeIt(&t.Deconv, func() { im.Deconv(bufA, wB, cur, sB, workers) })
 		if st != cfg.Stages-1 {
 			bnAct(cur, outCh, h)
 		}

@@ -71,9 +71,11 @@ func NewConvTranspose2D(rng *rand.Rand, inCh, outCh, kernel, stride, padding int
 	return l
 }
 
-// Forward applies the transposed convolution.
+// Forward applies the transposed convolution via the kernel-registry
+// fast path (which falls back to the direct gather loops for shapes
+// the registry rungs do not cover).
 func (l *ConvTranspose2D) Forward(x *ag.Value) *ag.Value {
-	return ag.ConvTranspose2D(x, l.W, l.B, l.Cfg)
+	return ag.ConvTranspose2DFast(x, l.W, l.B, l.Cfg)
 }
 
 // Params returns the weight (and bias, when present).

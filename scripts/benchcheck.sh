@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# benchcheck: benchmark-regression gate.
+#
+# Checks out a baseline ref into a temporary git worktree, runs the
+# kernel and observability benchmarks in both trees with identical
+# settings, and fails when HEAD regresses any benchmark present in both
+# by more than THRESHOLD percent ns/op. Benchmarks that exist on only
+# one side (renamed or newly added) are reported and skipped, so adding
+# a rung never breaks the gate.
+#
+# Knobs (environment):
+#   BASE_REF    baseline ref (default: origin/main if it exists, else HEAD~1)
+#   THRESHOLD   allowed ns/op regression in percent (default: 15)
+#   BENCHTIME   go test -benchtime per case (default: 200ms)
+#   COUNT       go test -count; the gate compares per-benchmark minima
+#               across runs to suppress scheduler noise (default: 3)
+#   PKGS        packages to benchmark (default: ./internal/kernels/ ./internal/obs/)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE_REF="${BASE_REF:-}"
+if [ -z "$BASE_REF" ]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+        BASE_REF=origin/main
+    else
+        BASE_REF=HEAD~1
+    fi
+fi
+THRESHOLD="${THRESHOLD:-15}"
+BENCHTIME="${BENCHTIME:-200ms}"
+COUNT="${COUNT:-3}"
+PKGS="${PKGS:-./internal/kernels/ ./internal/obs/}"
+
+tmp="$(mktemp -d)"
+cleanup() {
+    git worktree remove --force "$tmp/base" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "benchcheck: baseline $BASE_REF vs HEAD (threshold ${THRESHOLD}%, benchtime $BENCHTIME, count $COUNT)"
+git worktree add --quiet --detach "$tmp/base" "$BASE_REF"
+
+run_bench() { # $1 = tree, $2 = output file
+    (cd "$1" && go test -run '^$' -bench . -benchtime="$BENCHTIME" -count="$COUNT" $PKGS) >"$2"
+}
+
+run_bench "$tmp/base" "$tmp/base.txt"
+run_bench . "$tmp/head.txt"
+
+# benchdiff always runs from HEAD's tree, so the baseline does not need
+# to contain the tool.
+go run ./cmd/benchdiff -threshold "$THRESHOLD" "$tmp/base.txt" "$tmp/head.txt"
