@@ -5,7 +5,16 @@ GO ?= go
 BENCHTIME ?=
 BENCHFLAGS = -bench . -benchmem -run '^$$' $(if $(BENCHTIME),-benchtime=$(BENCHTIME))
 
-.PHONY: build test race vet fmt bench benchcheck ci clean
+.PHONY: build test race vet fmt lint lint-tools chaos cover bench benchcheck ci clean
+
+# Pinned static-analysis tool versions; `make lint-tools` installs them
+# (CI does this — it needs network, so it is not part of `make lint`).
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+# Minimum covered-statement percentage for internal/distrib (the fault
+# tolerance machinery); enforced by `make cover` / the CI test job.
+DISTRIB_MIN_COVER ?= 80
 
 build:
 	$(GO) build ./...
@@ -27,9 +36,44 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# The full gate CI runs: build, vet, the whole test suite, and the
-# race-detector pass over the concurrent packages.
-ci: build vet test race
+# Static analysis beyond vet: gofmt, go vet, staticcheck, and
+# govulncheck. The last two run only when installed (`make lint-tools`);
+# a loud SKIP is printed otherwise so local runs without network still
+# pass while CI — which always installs them — gets the full gate.
+lint: fmt vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "SKIP staticcheck (not installed; run 'make lint-tools')"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck ./..."; govulncheck ./...; \
+	else \
+		echo "SKIP govulncheck (not installed; run 'make lint-tools')"; \
+	fi
+
+# Install the pinned analysis tools (requires network; CI-only in
+# offline environments).
+lint-tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+# Chaos suite: every fault-injection test (rank crash, message drop,
+# corrupt payload, delay, straggler, elastic recovery) twice under the
+# race detector — the CI chaos job runs exactly this.
+chaos:
+	$(GO) test ./internal/distrib/... -run Fault -count=2 -race
+
+# Coverage gate: profile internal/distrib and fail below
+# DISTRIB_MIN_COVER percent covered statements.
+cover:
+	$(GO) test -coverprofile=coverage-distrib.out ./internal/distrib/
+	./scripts/covcheck.sh coverage-distrib.out $(DISTRIB_MIN_COVER)
+
+# The full gate CI runs: build, lint, the whole test suite, the
+# race-detector pass over the concurrent packages, the chaos suite, and
+# the distrib coverage gate.
+ci: build lint test race chaos cover
 
 # Disabled-telemetry overhead (must stay in the single-digit ns/op
 # range), the parallel-for overhead benchmark, and the kernel

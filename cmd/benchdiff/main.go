@@ -1,13 +1,19 @@
 // Command benchdiff compares two `go test -bench` outputs and exits
-// non-zero when the second (HEAD) regresses ns/op by more than
-// -threshold percent on any benchmark present in both files. Repeated
-// runs of one benchmark (go test -count=N) are folded by taking the
-// minimum ns/op — the cost floor is the quantity of interest; the
-// mean is polluted by scheduler noise. Benchmarks present on only one
-// side are listed and skipped, so renames and additions never trip
-// the gate.
+// non-zero when the second (HEAD) regresses ns/op on any benchmark
+// present in both files. Repeated runs of one benchmark (go test
+// -count=N) are folded by taking the median ns/op — the median is
+// robust to the occasional scheduler stall in either direction, where
+// the minimum systematically favors whichever side got one lucky run.
 //
-// Usage: benchdiff [-threshold 15] base.txt head.txt
+// A regression is flagged only when BOTH the relative and the absolute
+// bars are cleared: the median slows down by more than -threshold
+// percent AND by more than -floor nanoseconds. The floor keeps
+// sub-noise benchmarks (a 3 ns/op atomic-load probe jittering to
+// 4 ns/op is +33% but meaningless) from tripping the gate now that it
+// blocks merges. Benchmarks present on only one side are listed and
+// skipped, so renames and additions never trip the gate.
+//
+// Usage: benchdiff [-threshold 15] [-floor 20] base.txt head.txt
 package main
 
 import (
@@ -22,14 +28,14 @@ import (
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
 
-// parse returns the per-benchmark minimum ns/op of one output file.
-func parse(path string) (map[string]float64, error) {
+// parse returns every ns/op sample per benchmark in one output file.
+func parse(path string) (map[string][]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	min := map[string]float64{}
+	samples := map[string][]float64{}
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -40,30 +46,49 @@ func parse(path string) (map[string]float64, error) {
 		if err != nil {
 			continue
 		}
-		if prev, ok := min[m[1]]; !ok || ns < prev {
-			min[m[1]] = ns
-		}
+		samples[m[1]] = append(samples[m[1]], ns)
 	}
-	return min, sc.Err()
+	return samples, sc.Err()
+}
+
+// median folds one benchmark's samples; for even counts it averages the
+// middle pair.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+func fold(samples map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(samples))
+	for name, xs := range samples {
+		out[name] = median(xs)
+	}
+	return out
 }
 
 func main() {
 	threshold := flag.Float64("threshold", 15, "allowed ns/op regression in percent")
+	floor := flag.Float64("floor", 20, "noise floor: ignore regressions smaller than this many ns/op")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] base.txt head.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-floor ns] base.txt head.txt")
 		os.Exit(2)
 	}
-	base, err := parse(flag.Arg(0))
+	baseSamples, err := parse(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	head, err := parse(flag.Arg(1))
+	headSamples, err := parse(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
+	base, head := fold(baseSamples), fold(headSamples)
 
 	var names []string
 	for name := range base {
@@ -78,7 +103,7 @@ func main() {
 		b, h := base[name], head[name]
 		pct := (h - b) / b * 100
 		mark := " "
-		if pct > *threshold {
+		if pct > *threshold && h-b > *floor {
 			mark = "!"
 			regressions++
 		}
@@ -100,9 +125,10 @@ func main() {
 		return
 	}
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%%\n",
-			regressions, *threshold)
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% (and %.0f ns/op)\n",
+			regressions, *threshold, *floor)
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: %d benchmark(s) within %.0f%%\n", len(names), *threshold)
+	fmt.Printf("benchdiff: %d benchmark(s) within %.0f%% (floor %.0f ns/op)\n",
+		len(names), *threshold, *floor)
 }

@@ -10,6 +10,12 @@
 // training run (per-step and per-layer spans), -metrics a Prometheus
 // text (or .json) dump including train_step_seconds and the step-loss
 // gauge, -pprof serves net/http/pprof for live profiling.
+//
+// Fault tolerance (classifier only): -nodes N trains with N data-
+// parallel ranks; -ckptdir enables periodic CRC-checked checkpoints
+// (-ckpt-every steps, -ckpt-keep retained) and elastic recovery from
+// rank failures; -resume restores the latest checkpoint in -ckptdir and
+// continues bit-identically to an uninterrupted run.
 package main
 
 import (
@@ -37,6 +43,11 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file on exit")
 	metricsPath := flag.String("metrics", "", "write metrics on exit (.json = JSON dump, else Prometheus text)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	nodes := flag.Int("nodes", 1, "data-parallel ranks (classifier only)")
+	ckptDir := flag.String("ckptdir", "", "checkpoint directory; enables fault-tolerant elastic training (classifier only)")
+	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint period in optimizer steps (0 = default)")
+	ckptKeep := flag.Int("ckpt-keep", 0, "checkpoints retained (0 = default, negative = all)")
+	resume := flag.Bool("resume", false, "resume from the latest checkpoint in -ckptdir (bit-identical continuation)")
 	flag.Parse()
 	if *out == "" {
 		log.Fatal("cctrain: -out is required")
@@ -50,12 +61,28 @@ func main() {
 
 	switch *what {
 	case "enhancer":
+		if *nodes > 1 || *ckptDir != "" {
+			log.Fatal("cctrain: -nodes/-ckptdir apply to -what classifier only")
+		}
 		trainEnhancer(*epochs, *size, *count, *seed, *out)
 	case "classifier":
-		trainClassifier(*epochs, *size, *depth, *count, *seed, *out)
+		if *ckptDir != "" || *nodes > 1 {
+			trainClassifierElastic(*epochs, *size, *depth, *count, *seed, *out, *nodes, elasticFlags{
+				dir: *ckptDir, every: *ckptEvery, keep: *ckptKeep, resume: *resume,
+			})
+		} else {
+			trainClassifier(*epochs, *size, *depth, *count, *seed, *out)
+		}
 	default:
 		log.Fatalf("cctrain: unknown -what %q", *what)
 	}
+}
+
+type elasticFlags struct {
+	dir    string
+	every  int
+	keep   int
+	resume bool
 }
 
 func trainEnhancer(epochs, size, count int, seed int64, out string) {
@@ -82,6 +109,59 @@ func trainEnhancer(epochs, size, count int, seed int64, out string) {
 		mseYX, ssYX*100, mseYFX, ssYFX*100)
 
 	if err := nn.SaveModuleFile(out, m); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("saved", out)
+}
+
+func trainClassifierElastic(epochs, size, depth, count int, seed int64, out string, nodes int, ef elasticFlags) {
+	if nodes < 1 {
+		nodes = 1
+	}
+	cfg := dataset.DefaultCohortConfig()
+	cfg.Size = size
+	cfg.Depth = depth
+	cfg.Count = count
+	cfg.Seed = seed
+	fmt.Printf("building %d labelled volumes (%dx%dx%d)...\n", count, depth, size, size)
+	cases := dataset.BuildCohort(cfg)
+
+	factory := func() *classify.Classifier {
+		return classify.New(rand.New(rand.NewSource(seed)), classify.SmallConfig())
+	}
+	tc := core.DefaultClassifierTraining()
+	tc.Epochs = epochs
+	tc.LR = 5e-3
+	tc.Augment = false
+	tc.Seed = seed
+	fmt.Printf("training 3D DenseNet (%d params) on %d rank(s), checkpoints in %q...\n",
+		nn.NumParams(factory().Params()), nodes, ef.dir)
+	c, res, err := core.TrainClassifierDDPElastic(factory, cases, tc, nodes, core.DDPFaultConfig{
+		CheckpointDir:   ef.dir,
+		CheckpointEvery: ef.every,
+		Keep:            ef.keep,
+		Resume:          ef.resume,
+	})
+	if err != nil {
+		log.Fatalf("cctrain: elastic training failed: %v", err)
+	}
+	if res.FirstStep > 0 {
+		fmt.Printf("resumed from step %d\n", res.FirstStep)
+	}
+	if len(res.Losses) > 0 {
+		fmt.Printf("loss: %.5f -> %.5f over steps %d..%d\n",
+			res.Losses[0], res.Losses[len(res.Losses)-1], res.FirstStep, res.Steps)
+	}
+	for _, ev := range res.Recoveries {
+		fmt.Printf("recovery: rank(s) %v died at step %d; restored step %d (%d steps replayed) in %.3fs, %d rank(s) continue\n",
+			ev.DeadRanks, ev.FailedStep, ev.RestoredStep, ev.StepsLost, ev.Seconds, ev.Nodes)
+	}
+
+	p := core.NewPipeline(nil, c)
+	ev := core.EvaluateCohort(p, cases)
+	fmt.Printf("train-set accuracy %.1f%%, AUC %.3f\n", ev.Accuracy*100, ev.AUC)
+
+	if err := nn.SaveModuleFile(out, c); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("saved", out)

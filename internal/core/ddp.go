@@ -92,20 +92,125 @@ func TrainClassifierDDP(factory func() *classify.Classifier, cases []dataset.Cas
 	// training mode until its moving averages reflect the whole
 	// distribution (same fix TrainClassifier applies at demo scale).
 	master := tr.Master().(*classify.Classifier)
+	recalibrateBN(master, inputs, cfg.BatchSize, d, h, w)
+	return master, curve
+}
+
+// recalibrateBN streams the full input set through the classifier in
+// training mode until its batch-norm moving averages reflect the whole
+// distribution, then switches it to eval mode.
+func recalibrateBN(master *classify.Classifier, inputs []*tensor.Tensor, batch, d, h, w int) {
+	master.SetTraining(true)
+	voxels := d * h * w
 	for pass := 0; pass < 8; pass++ {
-		for start := 0; start < len(order); start += cfg.BatchSize {
-			end := start + cfg.BatchSize
-			if end > len(order) {
-				end = len(order)
+		for start := 0; start < len(inputs); start += batch {
+			end := start + batch
+			if end > len(inputs) {
+				end = len(inputs)
 			}
 			b := end - start
 			x := tensor.New(b, 1, d, h, w)
-			for bi, idx := range order[start:end] {
-				copy(x.Data[bi*voxels:(bi+1)*voxels], inputs[idx].Data)
+			for bi := 0; bi < b; bi++ {
+				copy(x.Data[bi*voxels:(bi+1)*voxels], inputs[start+bi].Data)
 			}
 			master.Forward(ag.Const(x))
 		}
 	}
 	master.SetTraining(false)
-	return master, curve
+}
+
+// DDPFaultConfig extends ClassifierTrainingConfig with the fault
+// tolerance knobs of the elastic trainer: where checkpoints live, how
+// often they are cut, how many are retained, and the resilient-ring
+// transport options.
+type DDPFaultConfig struct {
+	// CheckpointDir enables checkpointing when non-empty.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot period in optimizer steps
+	// (0 = distrib's default).
+	CheckpointEvery int
+	// Keep bounds retained snapshots (0 = distrib.DefaultKeep, <0 = all).
+	Keep int
+	// Resume restores the latest checkpoint in CheckpointDir before
+	// training; the resumed run is bit-identical to one that was never
+	// interrupted.
+	Resume bool
+	// Ring configures collective timeouts, retries, and (in tests)
+	// injected faults.
+	Ring distrib.RingOptions
+}
+
+// TrainClassifierDDPElastic is TrainClassifierDDP with fault tolerance:
+// periodic CRC-checked checkpoints, a checksummed timeout-guarded
+// all-reduce, and elastic recovery — when a rank is confirmed dead the
+// survivors re-form the group, the dataset re-shards, and training
+// resumes from the last consistent checkpoint. The returned result
+// carries the loss record and every recovery event.
+func TrainClassifierDDPElastic(factory func() *classify.Classifier, cases []dataset.Case, cfg ClassifierTrainingConfig, nodes int, ft DDPFaultConfig) (*classify.Classifier, *distrib.ElasticResult, error) {
+	tsp := obs.Start("core/train_classifier_ddp_elastic")
+	tsp.SetAttr("epochs", cfg.Epochs)
+	tsp.SetAttr("nodes", nodes)
+	tsp.SetAttr("cases", len(cases))
+	defer tsp.End()
+
+	inputs := make([]*tensor.Tensor, len(cases))
+	for i, cs := range cases {
+		inputs[i] = PrepareClassifierInput(cfg.PreEnhance, cs.Volume)
+	}
+	d, h, w := cases[0].Volume.D, cases[0].Volume.H, cases[0].Volume.W
+	voxels := d * h * w
+
+	lossFn := func(m distrib.Model, xs, ys []*tensor.Tensor) *ag.Value {
+		c := m.(*classify.Classifier)
+		b := len(xs)
+		x := tensor.New(b, 1, d, h, w)
+		y := tensor.New(b, 1)
+		for i := range xs {
+			copy(x.Data[i*voxels:(i+1)*voxels], xs[i].Data)
+			y.Data[i] = ys[i].Data[0]
+		}
+		return classify.Loss(c.Forward(ag.Const(x)), ag.Const(y))
+	}
+	tr := distrib.NewTrainer(func() distrib.Model { return factory() }, nodes, cfg.LR, lossFn)
+
+	var cm *distrib.CheckpointManager
+	if ft.CheckpointDir != "" {
+		cm = &distrib.CheckpointManager{Dir: ft.CheckpointDir, Keep: ft.Keep}
+	}
+	ecfg := distrib.ElasticConfig{
+		Epochs:    cfg.Epochs,
+		Samples:   len(cases),
+		BatchSize: cfg.BatchSize,
+		Shuffle:   true,
+		Seed:      cfg.Seed,
+		MakeBatch: func(indices []int, rng *rand.Rand) ([]*tensor.Tensor, []*tensor.Tensor) {
+			xs := make([]*tensor.Tensor, 0, len(indices))
+			ys := make([]*tensor.Tensor, 0, len(indices))
+			for _, idx := range indices {
+				in := inputs[idx]
+				if cfg.Augment {
+					in = classify.Augment(rng, in)
+				}
+				label := float32(0)
+				if cases[idx].Label {
+					label = 1
+				}
+				xs = append(xs, in)
+				ys = append(ys, tensor.FromSlice([]float32{label}, 1))
+			}
+			return xs, ys
+		},
+		Ckpt:            cm,
+		CheckpointEvery: ft.CheckpointEvery,
+		Resume:          ft.Resume,
+		Ring:            ft.Ring,
+	}
+	res, err := tr.RunElastic(ecfg)
+	if err != nil {
+		return nil, res, err
+	}
+
+	master := tr.Master().(*classify.Classifier)
+	recalibrateBN(master, inputs, cfg.BatchSize, d, h, w)
+	return master, res, nil
 }

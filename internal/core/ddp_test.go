@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"computecovid19/internal/classify"
+	"computecovid19/internal/distrib"
 	"computecovid19/internal/metrics"
 )
 
@@ -44,5 +45,100 @@ func TestTrainClassifierDDPLearnsCohort(t *testing.T) {
 	}
 	if auc := metrics.AUC(probs, labels); auc < 0.6 {
 		t.Fatalf("training-set AUC = %v, want > 0.6", auc)
+	}
+}
+
+// TestTrainClassifierDDPElasticResumeBitIdentical checks the classifier-
+// scale resume contract: train 1 epoch and checkpoint, then resume for
+// the full schedule in a fresh process-equivalent (new trainer, same
+// checkpoint dir) and compare against an uninterrupted run. The epoch
+// curve and final parameters must match exactly — `cctrain -resume` is
+// the run, not an approximation of it.
+func TestTrainClassifierDDPElasticResumeBitIdentical(t *testing.T) {
+	cases := smallCohort(t, 8, 5)
+	factory := func() *classify.Classifier {
+		return classify.New(rand.New(rand.NewSource(7)), classify.SmallConfig())
+	}
+	tc := DefaultClassifierTraining()
+	tc.Epochs = 3
+	tc.LR = 5e-3
+	tc.Augment = true // exercise the checkpointed augmentation RNG stream
+	tc.BatchSize = 4
+	stepsPerEpoch := (len(cases) + tc.BatchSize - 1) / tc.BatchSize
+
+	// Reference: uninterrupted 3-epoch run.
+	refCls, refRes, err := TrainClassifierDDPElastic(factory, cases, tc, 2, DDPFaultConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: 1 epoch, checkpoint on the epoch boundary, then resume
+	// with a fresh trainer for the remaining schedule.
+	dir := t.TempDir()
+	short := tc
+	short.Epochs = 1
+	ft := DDPFaultConfig{CheckpointDir: dir, CheckpointEvery: stepsPerEpoch, Keep: -1}
+	if _, _, err := TrainClassifierDDPElastic(factory, cases, short, 2, ft); err != nil {
+		t.Fatal(err)
+	}
+	ft.Resume = true
+	resCls, resRes, err := TrainClassifierDDPElastic(factory, cases, tc, 2, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resRes.FirstStep != uint64(stepsPerEpoch) {
+		t.Fatalf("resumed run started at step %d, want %d", resRes.FirstStep, stepsPerEpoch)
+	}
+
+	for s := resRes.FirstStep; s < refRes.Steps; s++ {
+		lr, okR := refRes.LossAt(s)
+		lm, okM := resRes.LossAt(s)
+		if !okR || !okM || lr != lm {
+			t.Fatalf("step %d: resumed loss %v (ok=%v) != uninterrupted %v (ok=%v)", s, lm, okM, lr, okR)
+		}
+	}
+	rp, mp := refCls.Params(), resCls.Params()
+	for i := range rp {
+		for j := range rp[i].T.Data {
+			if rp[i].T.Data[j] != mp[i].T.Data[j] {
+				t.Fatalf("param %d elem %d: resumed %v != uninterrupted %v (not bit-identical)",
+					i, j, mp[i].T.Data[j], rp[i].T.Data[j])
+			}
+		}
+	}
+}
+
+// TestTrainClassifierDDPElasticSurvivesCrash injects a rank crash into a
+// 2-node classifier run and checks elastic recovery completes the
+// schedule with one recovery event.
+func TestTrainClassifierDDPElasticSurvivesCrash(t *testing.T) {
+	cases := smallCohort(t, 8, 6)
+	factory := func() *classify.Classifier {
+		return classify.New(rand.New(rand.NewSource(8)), classify.SmallConfig())
+	}
+	tc := DefaultClassifierTraining()
+	tc.Epochs = 2
+	tc.LR = 5e-3
+	tc.Augment = false
+	tc.BatchSize = 4
+
+	plan := distrib.NewFaultPlan(1)
+	plan.CrashRankAtStep(1, 2)
+	_, res, err := TrainClassifierDDPElastic(factory, cases, tc, 2, DDPFaultConfig{
+		CheckpointDir:   t.TempDir(),
+		CheckpointEvery: 2,
+		Ring:            distrib.RingOptions{Faults: plan},
+	})
+	if err != nil {
+		t.Fatalf("elastic run did not survive the crash: %v", err)
+	}
+	if len(res.Recoveries) != 1 {
+		t.Fatalf("want one recovery event, got %d", len(res.Recoveries))
+	}
+	if res.Recoveries[0].Nodes != 1 {
+		t.Fatalf("group should have shrunk to 1 node, got %d", res.Recoveries[0].Nodes)
+	}
+	if res.Steps != uint64(2*2) {
+		t.Fatalf("run ended at step %d, want 4", res.Steps)
 	}
 }

@@ -1,0 +1,280 @@
+package distrib
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"computecovid19/internal/obs"
+	"computecovid19/internal/tensor"
+)
+
+// Elastic training loop: epochs of shuffled mini-batch steps with
+// periodic checkpoints, and automatic recovery when a rank is confirmed
+// dead — surviving ranks re-form the group, the dataset is re-sharded
+// (sharding is derived from the live group size every step), and
+// training resumes from the last consistent checkpoint. Everything that
+// feeds randomness into a step (epoch shuffles, augmentation draws)
+// flows through one serializable RNG captured in each snapshot, which
+// is what makes resume bit-identical: replaying from a checkpoint
+// produces exactly the batches — and therefore exactly the parameters —
+// an uninterrupted run would have produced from that point.
+
+var (
+	recoveriesTotal  = obs.GetCounter("distrib_recoveries_total")
+	recoverySecondsH = obs.GetHistogram("distrib_recovery_seconds", nil)
+	stepsLostTotal   = obs.GetCounter("distrib_steps_lost_total")
+)
+
+// ElasticConfig drives Trainer.RunElastic.
+type ElasticConfig struct {
+	// Epochs, Samples, BatchSize define the step grid: every epoch
+	// visits all Samples indices in (optionally shuffled) order,
+	// BatchSize at a time.
+	Epochs, Samples, BatchSize int
+	// Shuffle re-permutes the sample order each epoch (paper training
+	// recipe); the permutation is checkpointed with the cursor.
+	Shuffle bool
+	// Seed seeds the data/augmentation RNG.
+	Seed int64
+	// MakeBatch materializes the global batch for the given sample
+	// indices. Any randomness (augmentation) must come from rng so it is
+	// captured by checkpoints.
+	MakeBatch func(indices []int, rng *rand.Rand) (xs, ys []*tensor.Tensor)
+
+	// Ckpt enables checkpointing when non-nil; CheckpointEvery is the
+	// snapshot period in steps (0 means every 50). An initial snapshot
+	// is written before the first step so recovery is always possible.
+	Ckpt            *CheckpointManager
+	CheckpointEvery int
+	// Resume restores from Ckpt's latest checkpoint when one exists.
+	Resume bool
+
+	// Ring configures the fault-tolerant collective (timeouts, retries,
+	// injected faults).
+	Ring RingOptions
+
+	// OnStep, when set, observes every completed step.
+	OnStep func(step uint64, loss float64)
+}
+
+// RecoveryEvent records one group re-formation.
+type RecoveryEvent struct {
+	// FailedStep is the global step whose collective confirmed the death.
+	FailedStep uint64
+	// RestoredStep is the checkpoint step training resumed from.
+	RestoredStep uint64
+	// DeadRanks are the removed ranks (pre-renumbering indices).
+	DeadRanks []int
+	// Nodes is the group size after re-forming.
+	Nodes int
+	// StepsLost = FailedStep − RestoredStep, the replay distance.
+	StepsLost uint64
+	// Seconds is the wall time from confirmation to resumed training.
+	Seconds float64
+}
+
+// ElasticResult reports a RunElastic invocation.
+type ElasticResult struct {
+	// FirstStep is the global step the run started at (non-zero after
+	// Resume).
+	FirstStep uint64
+	// Losses holds the mean loss of every step this run executed, index
+	// i being global step FirstStep+i. Steps rolled back by a recovery
+	// are truncated and re-recorded as they are replayed.
+	Losses []float64
+	// Curve is the per-epoch mean loss for epochs fully covered by this
+	// run.
+	Curve []float64
+	// Steps is the global step count at exit.
+	Steps uint64
+	// Recoveries lists every group re-formation, oldest first.
+	Recoveries []RecoveryEvent
+}
+
+// LossAt returns the recorded loss of global step s (ok=false when the
+// step was not executed by this run).
+func (r *ElasticResult) LossAt(s uint64) (float64, bool) {
+	if s < r.FirstStep || s >= r.FirstStep+uint64(len(r.Losses)) {
+		return 0, false
+	}
+	return r.Losses[s-r.FirstStep], true
+}
+
+// RunElastic trains for cfg.Epochs epochs with checkpointing and
+// elastic fault recovery. It returns the per-step loss record and
+// recovery events; on unrecoverable errors (no checkpoint to restore,
+// all ranks dead, exhausted transient retries) it returns what was
+// executed so far plus the error.
+func (t *Trainer) RunElastic(cfg ElasticConfig) (*ElasticResult, error) {
+	if cfg.Samples <= 0 || cfg.BatchSize <= 0 || cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("distrib: RunElastic needs positive Epochs, Samples, BatchSize")
+	}
+	if cfg.MakeBatch == nil {
+		return nil, fmt.Errorf("distrib: RunElastic needs a MakeBatch function")
+	}
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = 50
+	}
+	stepsPerEpoch := (cfg.Samples + cfg.BatchSize - 1) / cfg.BatchSize
+	t.EnableFaultTolerance(cfg.Ring)
+
+	src := NewRNG(cfg.Seed)
+	rng := rand.New(src)
+	var epoch, cursor uint64
+	var order []uint32
+
+	res := &ElasticResult{}
+
+	restore := func(s *Snapshot) error {
+		if err := t.Restore(s); err != nil {
+			return err
+		}
+		src.SetState(s.RNG)
+		epoch, cursor = s.Epoch, s.Cursor
+		order = append([]uint32(nil), s.Order...)
+		if len(order) == 0 {
+			order = nil
+		}
+		return nil
+	}
+
+	if cfg.Ckpt != nil {
+		latest, err := cfg.Ckpt.Latest()
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Resume && latest != "" {
+			s, err := LoadSnapshot(latest)
+			if err != nil {
+				return nil, fmt.Errorf("distrib: resuming from %s: %w", latest, err)
+			}
+			if err := restore(s); err != nil {
+				return nil, err
+			}
+			res.FirstStep = s.Step
+		}
+	}
+
+	snap := func() error {
+		if cfg.Ckpt == nil {
+			return nil
+		}
+		s := t.Snapshot()
+		s.Epoch, s.Cursor = epoch, cursor
+		s.RNG = src.State()
+		s.Order = order
+		_, err := cfg.Ckpt.Save(s)
+		return err
+	}
+	// Step-0 safety net: without it, a crash before the first periodic
+	// snapshot would be unrecoverable.
+	if cfg.Ckpt != nil && t.step == res.FirstStep && res.FirstStep == 0 {
+		if err := snap(); err != nil {
+			return res, err
+		}
+	}
+
+	for epoch < uint64(cfg.Epochs) {
+		if order == nil {
+			order = make([]uint32, cfg.Samples)
+			for i := range order {
+				order[i] = uint32(i)
+			}
+			if cfg.Shuffle {
+				rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			}
+		}
+		for cursor < uint64(stepsPerEpoch) {
+			lo := int(cursor) * cfg.BatchSize
+			hi := lo + cfg.BatchSize
+			if hi > cfg.Samples {
+				hi = cfg.Samples
+			}
+			idxs := make([]int, hi-lo)
+			for i, o := range order[lo:hi] {
+				idxs[i] = int(o)
+			}
+			xs, ys := cfg.MakeBatch(idxs, rng)
+
+			loss, err := t.TryStep(xs, ys)
+			if err != nil {
+				var dre *DeadRankError
+				if !errors.As(err, &dre) || cfg.Ckpt == nil {
+					return res, err
+				}
+				t0 := time.Now()
+				failedStep := t.step
+				if rerr := t.RemoveRanks(dre.Ranks); rerr != nil {
+					return res, rerr
+				}
+				latest, lerr := cfg.Ckpt.Latest()
+				if lerr != nil || latest == "" {
+					return res, fmt.Errorf("distrib: no checkpoint to recover from: %v", lerr)
+				}
+				s, lerr := LoadSnapshot(latest)
+				if lerr != nil {
+					return res, fmt.Errorf("distrib: recovering from %s: %w", latest, lerr)
+				}
+				if rerr := restore(s); rerr != nil {
+					return res, rerr
+				}
+				// Roll the loss record back to the restored step; the
+				// replayed steps re-record as they execute.
+				if s.Step < res.FirstStep {
+					// Restored to before this run began (an older retained
+					// checkpoint): restart the record there.
+					res.FirstStep = s.Step
+					res.Losses = nil
+				} else if s.Step-res.FirstStep <= uint64(len(res.Losses)) {
+					res.Losses = res.Losses[:s.Step-res.FirstStep]
+				}
+				ev := RecoveryEvent{
+					FailedStep:   failedStep,
+					RestoredStep: s.Step,
+					DeadRanks:    append([]int(nil), dre.Ranks...),
+					Nodes:        t.Nodes,
+					StepsLost:    failedStep - s.Step,
+					Seconds:      time.Since(t0).Seconds(),
+				}
+				res.Recoveries = append(res.Recoveries, ev)
+				recoveriesTotal.Inc()
+				recoverySecondsH.Observe(ev.Seconds)
+				stepsLostTotal.Add(ev.StepsLost)
+				continue
+			}
+
+			res.Losses = append(res.Losses, loss)
+			cursor++
+			if cfg.OnStep != nil {
+				cfg.OnStep(t.step-1, loss)
+			}
+			if cfg.Ckpt != nil && t.step%uint64(every) == 0 {
+				if err := snap(); err != nil {
+					return res, err
+				}
+			}
+		}
+		epoch++
+		cursor = 0
+		order = nil
+	}
+
+	res.Steps = t.step
+	// Per-epoch curve for epochs fully covered by this run.
+	for e := 0; e < cfg.Epochs; e++ {
+		loS := uint64(e) * uint64(stepsPerEpoch)
+		hiS := loS + uint64(stepsPerEpoch)
+		if loS < res.FirstStep || hiS > res.FirstStep+uint64(len(res.Losses)) {
+			continue
+		}
+		sum := 0.0
+		for _, l := range res.Losses[loS-res.FirstStep : hiS-res.FirstStep] {
+			sum += l
+		}
+		res.Curve = append(res.Curve, sum/float64(stepsPerEpoch))
+	}
+	return res, nil
+}

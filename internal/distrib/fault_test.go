@@ -1,0 +1,359 @@
+package distrib
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"computecovid19/internal/obs"
+	"computecovid19/internal/tensor"
+)
+
+// Fault-injection suite. Every test here is named TestFault* so the CI
+// chaos job can select exactly this suite with `go test -run Fault
+// -count=2 -race`.
+
+func testRing(plan *FaultPlan) RingOptions {
+	return RingOptions{
+		Timeout: 200 * time.Millisecond,
+		Retries: 4,
+		Backoff: time.Millisecond,
+		Faults:  plan,
+	}
+}
+
+func randomVectors(seed int64, n, length int) (vecs [][]float32, want []float32) {
+	rng := rand.New(rand.NewSource(seed))
+	vecs = make([][]float32, n)
+	want = make([]float32, length)
+	for i := range vecs {
+		vecs[i] = make([]float32, length)
+		for j := range vecs[i] {
+			vecs[i][j] = float32(rng.NormFloat64())
+			want[j] += vecs[i][j] / float32(n)
+		}
+	}
+	return vecs, want
+}
+
+func checkMean(t *testing.T, vecs [][]float32, want []float32) {
+	t.Helper()
+	for i := range vecs {
+		for j := range want {
+			diff := float64(vecs[i][j] - want[j])
+			if diff < -1e-4 || diff > 1e-4 {
+				t.Fatalf("node %d elem %d = %v, want %v", i, j, vecs[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestFaultFreeResilientMatchesPlain(t *testing.T) {
+	vecs, want := randomVectors(1, 5, 37)
+	if err := ResilientAllReduceMean(vecs, testRing(nil)); err != nil {
+		t.Fatal(err)
+	}
+	checkMean(t, vecs, want)
+}
+
+func TestFaultDropRecoversByRetry(t *testing.T) {
+	plan := NewFaultPlan(2)
+	plan.DropFirst = 1
+	before := obs.GetCounter("distrib_collective_retries_total").Value()
+	vecs, want := randomVectors(2, 4, 21)
+	if err := ResilientAllReduceMean(vecs, testRing(plan)); err != nil {
+		t.Fatal(err)
+	}
+	checkMean(t, vecs, want)
+	if got := obs.GetCounter("distrib_collective_retries_total").Value(); got <= before {
+		t.Fatal("a dropped message must cost at least one retry")
+	}
+}
+
+func TestFaultCorruptPayloadDetected(t *testing.T) {
+	plan := NewFaultPlan(3)
+	plan.CorruptFirst = 1
+	before := obs.GetCounter("distrib_corrupt_payloads_detected_total").Value()
+	vecs, want := randomVectors(3, 3, 17)
+	if err := ResilientAllReduceMean(vecs, testRing(plan)); err != nil {
+		t.Fatal(err)
+	}
+	checkMean(t, vecs, want)
+	if got := obs.GetCounter("distrib_corrupt_payloads_detected_total").Value(); got <= before {
+		t.Fatal("the checksum must have caught the corrupted payload")
+	}
+}
+
+func TestFaultDelayWithinTimeoutSucceeds(t *testing.T) {
+	plan := NewFaultPlan(4)
+	plan.DelayFirst = 2
+	plan.Delay = 5 * time.Millisecond
+	vecs, want := randomVectors(4, 3, 11)
+	if err := ResilientAllReduceMean(vecs, testRing(plan)); err != nil {
+		t.Fatal(err)
+	}
+	checkMean(t, vecs, want)
+}
+
+func TestFaultProbabilisticNoiseHeals(t *testing.T) {
+	// Low-probability transient faults over many collectives: every one
+	// must still converge to the correct mean within the retry budget.
+	plan := NewFaultPlan(5)
+	plan.DropProb = 0.01
+	plan.CorruptProb = 0.01
+	opt := testRing(plan)
+	opt.Retries = 10
+	for i := 0; i < 10; i++ {
+		vecs, want := randomVectors(int64(100+i), 4, 29)
+		if err := ResilientAllReduceMean(vecs, opt); err != nil {
+			t.Fatal(err)
+		}
+		checkMean(t, vecs, want)
+	}
+}
+
+func TestFaultExhaustedRetriesLeavesInputsUntouched(t *testing.T) {
+	plan := NewFaultPlan(6)
+	plan.DropProb = 1 // every message vanishes: unrecoverable
+	opt := testRing(plan)
+	opt.Timeout = 30 * time.Millisecond
+	opt.Retries = 1
+	vecs, _ := randomVectors(6, 3, 9)
+	orig := make([][]float32, len(vecs))
+	for i, v := range vecs {
+		orig[i] = append([]float32(nil), v...)
+	}
+	err := ResilientAllReduceMean(vecs, opt)
+	if err == nil {
+		t.Fatal("an all-drop transport must exhaust the retry budget")
+	}
+	var dre *DeadRankError
+	if errors.As(err, &dre) {
+		t.Fatal("transient faults must not be misreported as a dead rank")
+	}
+	for i := range vecs {
+		for j := range vecs[i] {
+			if vecs[i][j] != orig[i][j] {
+				t.Fatal("a failed collective must leave the input vectors untouched")
+			}
+		}
+	}
+}
+
+func TestFaultCrashMidCollectiveTimesOut(t *testing.T) {
+	plan := NewFaultPlan(7)
+	plan.CrashRankAtStep(1, 0)
+	plan.BeginStep(0)
+	vecs, _ := randomVectors(7, 3, 13)
+	opt := testRing(plan)
+	opt.Timeout = 50 * time.Millisecond
+	err := faultyRingOnce(vecs, opt.withDefaults())
+	if err == nil {
+		t.Fatal("a crashed rank must fail the collective")
+	}
+}
+
+func TestFaultCrashConfirmedAsDeadRank(t *testing.T) {
+	plan := NewFaultPlan(8)
+	plan.CrashRankAtStep(2, 0)
+	plan.BeginStep(0)
+	vecs, _ := randomVectors(8, 4, 13)
+	opt := testRing(plan)
+	opt.Timeout = 50 * time.Millisecond
+	err := ResilientAllReduceMean(vecs, opt)
+	var dre *DeadRankError
+	if !errors.As(err, &dre) {
+		t.Fatalf("want DeadRankError, got %v", err)
+	}
+	if len(dre.Ranks) != 1 || dre.Ranks[0] != 2 {
+		t.Fatalf("want dead rank [2], got %v", dre.Ranks)
+	}
+}
+
+func TestFaultTryStepSurfacesDeadRank(t *testing.T) {
+	plan := NewFaultPlan(9)
+	plan.CrashRankAtStep(1, 2)
+	tr := NewTrainer(newToyFactory(), 3, 0.01, toyLoss)
+	opt := testRing(plan)
+	opt.Timeout = 50 * time.Millisecond
+	tr.EnableFaultTolerance(opt)
+	rng := rand.New(rand.NewSource(10))
+	xs, ys := toyData(rng, 6)
+	for step := 0; step < 2; step++ {
+		if _, err := tr.TryStep(xs, ys); err != nil {
+			t.Fatalf("step %d before the crash must succeed: %v", step, err)
+		}
+	}
+	_, err := tr.TryStep(xs, ys)
+	var dre *DeadRankError
+	if !errors.As(err, &dre) {
+		t.Fatalf("want DeadRankError at the crash step, got %v", err)
+	}
+}
+
+// toyElasticData builds a fixed dataset plus a MakeBatch that jitters
+// inputs through the checkpointed RNG stream, so resume correctness
+// covers augmentation draws, not just the shuffle.
+func toyElasticData(n int) (func(indices []int, rng *rand.Rand) ([]*tensor.Tensor, []*tensor.Tensor), int) {
+	base := rand.New(rand.NewSource(77))
+	xs, ys := toyData(base, n)
+	mk := func(indices []int, rng *rand.Rand) ([]*tensor.Tensor, []*tensor.Tensor) {
+		bx := make([]*tensor.Tensor, 0, len(indices))
+		by := make([]*tensor.Tensor, 0, len(indices))
+		for _, i := range indices {
+			x := xs[i].Clone()
+			for j := range x.Data {
+				x.Data[j] += float32(rng.NormFloat64()) * 0.01
+			}
+			bx = append(bx, x)
+			by = append(by, ys[i])
+		}
+		return bx, by
+	}
+	return mk, n
+}
+
+// TestFaultElasticRecoveryBitIdentical is the end-to-end acceptance
+// test: a 4-rank run with a rank crash injected at a random step must
+// complete via elastic recovery (3 survivors re-form, re-shard, restore
+// the last checkpoint) and, from the restored step on, match an
+// unfaulted run continuing from the same checkpoint bit for bit.
+func TestFaultElasticRecoveryBitIdentical(t *testing.T) {
+	const (
+		nodes      = 4
+		epochs     = 5
+		samples    = 16
+		batch      = 4 // 4 steps per epoch, 20 total
+		totalSteps = 20
+		every      = 3 // deliberately misaligned with epoch boundaries
+	)
+	// A "random" crash step, reproducibly drawn.
+	crashStep := uint64(2 + rand.New(rand.NewSource(99)).Intn(totalSteps-4))
+	deadRank := 2
+
+	mk, n := toyElasticData(samples)
+	_ = n
+
+	plan := NewFaultPlan(11)
+	plan.CrashRankAtStep(deadRank, crashStep)
+
+	dirA := t.TempDir()
+	cmA := &CheckpointManager{Dir: dirA, Keep: -1}
+	trA := NewTrainer(newToyFactory(), nodes, 0.01, toyLoss)
+	cfg := ElasticConfig{
+		Epochs: epochs, Samples: samples, BatchSize: batch, Shuffle: true, Seed: 13,
+		MakeBatch: mk,
+		Ckpt:      cmA, CheckpointEvery: every,
+		Ring: RingOptions{Timeout: 100 * time.Millisecond, Retries: 2, Backoff: time.Millisecond, Faults: plan},
+	}
+	resA, err := trA.RunElastic(cfg)
+	if err != nil {
+		t.Fatalf("faulted run did not complete: %v", err)
+	}
+	if resA.Steps != totalSteps {
+		t.Fatalf("faulted run ended at step %d, want %d", resA.Steps, totalSteps)
+	}
+	if len(resA.Recoveries) != 1 {
+		t.Fatalf("want exactly one recovery, got %d", len(resA.Recoveries))
+	}
+	ev := resA.Recoveries[0]
+	if ev.Nodes != nodes-1 || len(ev.DeadRanks) != 1 || ev.DeadRanks[0] != deadRank {
+		t.Fatalf("unexpected recovery event: %+v", ev)
+	}
+	if ev.FailedStep != crashStep || ev.StepsLost != crashStep-ev.RestoredStep {
+		t.Fatalf("recovery accounting wrong: %+v (crash at %d)", ev, crashStep)
+	}
+	if trA.Nodes != nodes-1 {
+		t.Fatalf("group did not re-form: %d nodes", trA.Nodes)
+	}
+
+	// Reference: an unfaulted run continuing from the same checkpoint
+	// with the same re-formed 3-rank group.
+	src := cmA.pathFor(ev.RestoredStep)
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatalf("restored checkpoint missing: %v", err)
+	}
+	dirB := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dirB, filepath.Base(src)), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trB := NewTrainer(newToyFactory(), nodes, 0.01, toyLoss)
+	if err := trB.RemoveRanks([]int{deadRank}); err != nil {
+		t.Fatal(err)
+	}
+	cfgB := cfg
+	cfgB.Ckpt = &CheckpointManager{Dir: dirB, Keep: -1}
+	cfgB.Resume = true
+	cfgB.Ring = RingOptions{Timeout: 100 * time.Millisecond, Retries: 2, Backoff: time.Millisecond}
+	resB, err := trB.RunElastic(cfgB)
+	if err != nil {
+		t.Fatalf("reference run failed: %v", err)
+	}
+	if resB.FirstStep != ev.RestoredStep {
+		t.Fatalf("reference resumed at %d, want %d", resB.FirstStep, ev.RestoredStep)
+	}
+
+	// Bit-identical loss trajectory from the restored step on.
+	for s := ev.RestoredStep; s < totalSteps; s++ {
+		la, okA := resA.LossAt(s)
+		lb, okB := resB.LossAt(s)
+		if !okA || !okB {
+			t.Fatalf("step %d missing from a loss record (okA=%v okB=%v)", s, okA, okB)
+		}
+		if la != lb {
+			t.Fatalf("step %d: faulted-run loss %v != reference %v (not bit-identical)", s, la, lb)
+		}
+	}
+	if !bitIdenticalParams(masterParams(trA), masterParams(trB)) {
+		t.Fatal("final parameters after recovery are not bit-identical to the reference")
+	}
+}
+
+func TestFaultElasticAllRanksDeadFails(t *testing.T) {
+	plan := NewFaultPlan(12)
+	plan.CrashRankAtStep(0, 1)
+	plan.CrashRankAtStep(1, 1)
+	mk, _ := toyElasticData(8)
+	tr := NewTrainer(newToyFactory(), 2, 0.01, toyLoss)
+	_, err := tr.RunElastic(ElasticConfig{
+		Epochs: 2, Samples: 8, BatchSize: 4, Seed: 3,
+		MakeBatch: mk,
+		Ckpt:      &CheckpointManager{Dir: t.TempDir()}, CheckpointEvery: 2,
+		Ring: RingOptions{Timeout: 50 * time.Millisecond, Retries: 1, Backoff: time.Millisecond, Faults: plan},
+	})
+	if err == nil {
+		t.Fatal("losing every rank must be unrecoverable")
+	}
+}
+
+func TestFaultStragglerRaisesWarning(t *testing.T) {
+	plan := NewFaultPlan(13)
+	tr := NewTrainer(newToyFactory(), 2, 0.01, toyLoss)
+	tr.EnableFaultTolerance(testRing(plan))
+	rng := rand.New(rand.NewSource(14))
+	xs, ys := toyData(rng, 4)
+	// Warm the pooled timing histogram past the detector's threshold.
+	for i := 0; i < 20; i++ {
+		if _, err := tr.TryStep(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := obs.GetCounter("distrib_straggler_warnings_total").Value()
+	plan.SlowRank(1, 50*time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if _, err := tr.TryStep(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := obs.GetCounter("distrib_straggler_warnings_total").Value()
+	if after <= before {
+		t.Fatal("an injected straggler must raise the warning metric")
+	}
+	if got := obs.GetGauge("distrib_straggler_rank").Value(); got != 1 {
+		t.Fatalf("straggler gauge = %v, want rank 1", got)
+	}
+}

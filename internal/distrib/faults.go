@@ -1,0 +1,239 @@
+package distrib
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fault injection for the all-reduce transport and the trainer's compute
+// phase. A FaultPlan is the single source of injected failures so tests
+// (and the CI chaos job) can script exactly which rank fails, how, and
+// when, while probabilistic modes exercise the retry machinery under
+// -race. The plan also plays the role of the failure detector: a rank
+// whose crash has triggered is reported by DeadRanks, the in-process
+// stand-in for gloo's peer-liveness checks.
+
+// FaultKind classifies one injected transport fault.
+type FaultKind int
+
+const (
+	// FaultNone leaves the message untouched.
+	FaultNone FaultKind = iota
+	// FaultDrop silently discards the message; the receiver times out.
+	FaultDrop
+	// FaultDelay sleeps before sending — a straggling link.
+	FaultDelay
+	// FaultCorrupt flips a bit in the payload after the checksum is
+	// computed, so the receiver detects it.
+	FaultCorrupt
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultCorrupt:
+		return "corrupt"
+	default:
+		return "none"
+	}
+}
+
+// DeadRankError reports ranks confirmed dead by the failure detector
+// after a collective timed out. The group must be re-formed without
+// them before training can continue.
+type DeadRankError struct {
+	Ranks []int
+}
+
+func (e *DeadRankError) Error() string {
+	return fmt.Sprintf("distrib: rank(s) %v confirmed dead during collective", e.Ranks)
+}
+
+// FaultPlan scripts and tracks injected faults. The zero value injects
+// nothing; NewFaultPlan seeds the probabilistic modes. All methods are
+// safe for concurrent use (ring goroutines consult the plan in
+// parallel).
+type FaultPlan struct {
+	mu  sync.Mutex
+	rng *RNG
+
+	// DropProb, DelayProb, CorruptProb are per-message probabilities.
+	DropProb, DelayProb, CorruptProb float64
+	// Delay is the sleep applied to FaultDelay messages.
+	Delay time.Duration
+
+	// DropFirst, CorruptFirst, DelayFirst deterministically fault that
+	// many messages (counted across the plan's lifetime) before the
+	// probabilistic modes apply — reproducible single-fault tests.
+	DropFirst, CorruptFirst, DelayFirst int
+
+	crashAtStep map[int]uint64        // rank -> global step at which it dies
+	slow        map[int]time.Duration // rank -> extra compute time per step
+	dead        map[int]bool
+}
+
+// NewFaultPlan returns a plan whose probabilistic draws are seeded.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{rng: NewRNG(seed)}
+}
+
+// CrashRankAtStep schedules rank to die permanently when the trainer
+// reaches the given global step: its compute is skipped and its
+// transport endpoints stop responding.
+func (p *FaultPlan) CrashRankAtStep(rank int, step uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashAtStep == nil {
+		p.crashAtStep = map[int]uint64{}
+	}
+	p.crashAtStep[rank] = step
+}
+
+// SlowRank makes rank's compute phase take extra time every step — the
+// injected straggler the p99 detector must flag.
+func (p *FaultPlan) SlowRank(rank int, extra time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.slow == nil {
+		p.slow = map[int]time.Duration{}
+	}
+	p.slow[rank] = extra
+}
+
+// BeginStep triggers any crash scheduled at or before step. The trainer
+// calls it at every step entry.
+func (p *FaultPlan) BeginStep(step uint64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for rank, at := range p.crashAtStep {
+		if step >= at {
+			if p.dead == nil {
+				p.dead = map[int]bool{}
+			}
+			p.dead[rank] = true
+		}
+	}
+}
+
+// Crashed reports whether rank's scheduled crash has triggered.
+func (p *FaultPlan) Crashed(rank int) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead[rank]
+}
+
+// DeadRanks returns the confirmed-dead ranks in ascending order.
+func (p *FaultPlan) DeadRanks() []int {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []int
+	for rank, d := range p.dead {
+		if d {
+			out = append(out, rank)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RemoveRanks rewrites the plan after the group re-forms without the
+// given (ascending) ranks: the removed ranks' entries are dropped and
+// higher ranks shift down to match their new indices.
+func (p *FaultPlan) RemoveRanks(ranks []int) {
+	if p == nil || len(ranks) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	remap := func(old int) (int, bool) {
+		shift := 0
+		for _, r := range ranks {
+			if old == r {
+				return 0, false
+			}
+			if old > r {
+				shift++
+			}
+		}
+		return old - shift, true
+	}
+	newCrash := map[int]uint64{}
+	for rank, at := range p.crashAtStep {
+		if nr, ok := remap(rank); ok {
+			newCrash[nr] = at
+		}
+	}
+	p.crashAtStep = newCrash
+	newSlow := map[int]time.Duration{}
+	for rank, d := range p.slow {
+		if nr, ok := remap(rank); ok {
+			newSlow[nr] = d
+		}
+	}
+	p.slow = newSlow
+	newDead := map[int]bool{}
+	for rank, d := range p.dead {
+		if nr, ok := remap(rank); ok && d {
+			newDead[nr] = true
+		}
+	}
+	p.dead = newDead
+}
+
+// computeDelay returns the injected extra compute time for rank.
+func (p *FaultPlan) computeDelay(rank int) time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.slow[rank]
+}
+
+// sendFault draws the fault (if any) to apply to one outgoing message.
+func (p *FaultPlan) sendFault() FaultKind {
+	if p == nil {
+		return FaultNone
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case p.DropFirst > 0:
+		p.DropFirst--
+		return FaultDrop
+	case p.CorruptFirst > 0:
+		p.CorruptFirst--
+		return FaultCorrupt
+	case p.DelayFirst > 0:
+		p.DelayFirst--
+		return FaultDelay
+	}
+	if p.rng == nil || (p.DropProb == 0 && p.DelayProb == 0 && p.CorruptProb == 0) {
+		return FaultNone
+	}
+	u := float64(p.rng.Uint64()>>11) / (1 << 53)
+	switch {
+	case u < p.DropProb:
+		return FaultDrop
+	case u < p.DropProb+p.CorruptProb:
+		return FaultCorrupt
+	case u < p.DropProb+p.CorruptProb+p.DelayProb:
+		return FaultDelay
+	default:
+		return FaultNone
+	}
+}

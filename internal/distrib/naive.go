@@ -25,6 +25,22 @@ func NaiveAllReduce(vectors [][]float32) {
 	}
 }
 
+// NaiveAllReduceMean averages the per-node vectors in place through the
+// central node — the parameter-server counterpart of AllReduceMean,
+// selectable on the trainer via SetReducer for ablations.
+func NaiveAllReduceMean(vectors [][]float32) {
+	NaiveAllReduce(vectors)
+	n := float32(len(vectors))
+	if n <= 1 {
+		return
+	}
+	for _, v := range vectors {
+		for i := range v {
+			v[i] /= n
+		}
+	}
+}
+
 // RingBytesPerNode returns the bytes each node sends under the ring
 // algorithm for a float32 vector of the given length:
 // 2·(n−1)/n · 4·length (reduce-scatter + all-gather).

@@ -1,0 +1,65 @@
+package distrib
+
+// Serializable PRNG for resumable training. math/rand's default source
+// hides its state, so a checkpoint could not capture "where the shuffle
+// and augmentation streams are" — which is exactly what bit-identical
+// resume needs. RNG is xoshiro256++ (Blackman & Vigna) seeded through
+// splitmix64; it implements rand.Source64, so rand.New(rng) provides
+// the full math/rand API while State/SetState round-trip the generator
+// through a Snapshot.
+//
+// Note rand.Rand itself holds no hidden state for the methods the
+// trainer uses (Shuffle, Intn, Float64, NormFloat64 all draw straight
+// from the source); only Read buffers, and nothing here calls Read.
+
+// RNG is a serializable rand.Source64.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed.
+func NewRNG(seed int64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Seed resets the state deterministically from seed.
+func (r *RNG) Seed(seed int64) {
+	x := uint64(seed)
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next value of the xoshiro256++ sequence.
+func (r *RNG) Uint64() uint64 {
+	res := rotl(r.s[0]+r.s[3], 23) + r.s[0]
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return res
+}
+
+// Int63 satisfies rand.Source.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// State returns the four state words for checkpointing.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a state captured with State.
+func (r *RNG) SetState(s [4]uint64) { r.s = s }

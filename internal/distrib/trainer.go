@@ -21,7 +21,22 @@ var (
 	stepLossG    = obs.GetGauge("distrib_step_loss")
 	gradNormG    = obs.GetGauge("distrib_grad_norm")
 	stepSecondsH = obs.GetHistogram("distrib_step_seconds", nil)
+
+	// Straggler detection: rankSecondsH exports every rank's per-step
+	// compute time; a rank whose current step exceeds StragglerFactor ×
+	// the trainer's own pooled p99 raises the warning counter and gauge —
+	// the operator sees the slow rank long before a timeout would force
+	// recovery.
+	rankSecondsH       = obs.GetHistogram("distrib_rank_step_seconds", nil)
+	stragglerWarnings  = obs.GetCounter("distrib_straggler_warnings_total")
+	stragglerRankG     = obs.GetGauge("distrib_straggler_rank")
+	groupSizeG         = obs.GetGauge("distrib_group_size")
+	rankRemovedCounter = obs.GetCounter("distrib_ranks_removed_total")
 )
+
+// stragglerWarmup is how many pooled rank timings must exist before the
+// p99 comparison is meaningful.
+const stragglerWarmup = 32
 
 // Model is what the data-parallel trainer needs from a network.
 type Model interface {
@@ -44,6 +59,24 @@ type Trainer struct {
 	replicas []Model
 	opts     []*nn.Adam
 	loss     LossFunc
+
+	// reduce averages the per-node gradient vectors in place; nil means
+	// the ring (AllReduceMean). SetReducer switches implementations.
+	reduce func([][]float32)
+	// ft, when non-nil, routes collectives through the resilient
+	// checksummed transport and enables fault handling in TryStep.
+	ft *RingOptions
+	// StragglerFactor scales the pooled p99 threshold; <= 0 means 2.
+	StragglerFactor float64
+
+	step     uint64
+	perRankH []*obs.Histogram
+	// pooled is this trainer's own timing baseline for straggler
+	// detection; the registry-level distrib_rank_step_seconds histogram
+	// still receives every observation for dashboards, but thresholding
+	// on it would let unrelated trainers (or earlier runs in the same
+	// process) skew the p99.
+	pooled *obs.Histogram
 }
 
 // NewTrainer builds a trainer with `nodes` replicas. factory must be
@@ -53,13 +86,16 @@ func NewTrainer(factory func() Model, nodes int, lr float64, loss LossFunc) *Tra
 	if nodes < 1 {
 		panic("distrib: need at least one node")
 	}
-	t := &Trainer{Nodes: nodes, loss: loss}
+	t := &Trainer{Nodes: nodes, loss: loss, pooled: obs.NewHistogram(nil)}
 	for i := 0; i < nodes; i++ {
 		m := factory()
 		m.SetTraining(true)
 		t.replicas = append(t.replicas, m)
 		t.opts = append(t.opts, nn.NewAdam(m.Params(), lr))
+		t.perRankH = append(t.perRankH,
+			obs.GetHistogram(fmt.Sprintf("distrib_rank_step_seconds{rank=%q}", fmt.Sprint(i)), nil))
 	}
+	groupSizeG.Set(float64(nodes))
 	// Verify the factory is deterministic — silent divergence here would
 	// invalidate every result built on the trainer.
 	if nodes > 1 {
@@ -77,6 +113,33 @@ func NewTrainer(factory func() Model, nodes int, lr float64, loss LossFunc) *Tra
 // replica's.
 func (t *Trainer) Master() Model { return t.replicas[0] }
 
+// GlobalStep reports how many optimizer steps have been applied (it is
+// restored by checkpoints).
+func (t *Trainer) GlobalStep() uint64 { return t.step }
+
+// SetReducer replaces the gradient-averaging collective (default: ring
+// AllReduceMean; NaiveAllReduceMean is the parameter-server ablation).
+// Ignored while fault tolerance is enabled — the resilient ring owns
+// the collective there.
+func (t *Trainer) SetReducer(reduce func([][]float32)) { t.reduce = reduce }
+
+// EnableFaultTolerance routes gradient synchronization through the
+// checksummed, timeout-guarded ring with the given options. TryStep
+// then surfaces *DeadRankError instead of hanging on a crashed rank.
+func (t *Trainer) EnableFaultTolerance(opt RingOptions) {
+	o := opt.withDefaults()
+	t.ft = &o
+}
+
+// FaultPlan returns the injected fault plan, if fault tolerance is
+// enabled with one.
+func (t *Trainer) FaultPlan() *FaultPlan {
+	if t.ft == nil {
+		return nil
+	}
+	return t.ft.Faults
+}
+
 // SetLR updates the learning rate on every node's optimizer.
 func (t *Trainer) SetLR(lr float64) {
 	for _, o := range t.opts {
@@ -87,12 +150,28 @@ func (t *Trainer) SetLR(lr float64) {
 // LR reports the current learning rate.
 func (t *Trainer) LR() float64 { return t.opts[0].LR() }
 
-// Step performs one synchronous data-parallel step on a global batch:
-// shard across nodes, backward per node in parallel, ring all-reduce the
+// Step performs one synchronous data-parallel step, panicking on
+// transport failure (only possible with fault tolerance enabled — use
+// TryStep there).
+func (t *Trainer) Step(xs, ys []*tensor.Tensor) float64 {
+	loss, err := t.TryStep(xs, ys)
+	if err != nil {
+		panic(fmt.Sprintf("distrib: Step failed (use TryStep with fault tolerance): %v", err))
+	}
+	return loss
+}
+
+// TryStep performs one synchronous data-parallel step on a global batch:
+// shard across nodes, backward per node in parallel, all-reduce the
 // gradients, identical optimizer step everywhere. Returns the global
 // mean loss. Nodes with an empty shard (global batch smaller than the
 // node count) contribute zero gradients, as DDP's join semantics do.
-func (t *Trainer) Step(xs, ys []*tensor.Tensor) float64 {
+//
+// With fault tolerance enabled, a confirmed-dead rank returns a
+// *DeadRankError and the trainer's state must be considered
+// inconsistent: re-form the group (RemoveRanks) and Restore the last
+// checkpoint before stepping again. RunElastic automates that loop.
+func (t *Trainer) TryStep(xs, ys []*tensor.Tensor) (float64, error) {
 	if len(xs) != len(ys) || len(xs) == 0 {
 		panic("distrib: Step needs equally many inputs and targets")
 	}
@@ -102,10 +181,17 @@ func (t *Trainer) Step(xs, ys []*tensor.Tensor) float64 {
 		sp.SetAttr("nodes", t.Nodes)
 		sp.SetAttr("global_batch", len(xs))
 	}
+	var plan *FaultPlan
+	if t.ft != nil {
+		plan = t.ft.Faults
+	}
+	plan.BeginStep(t.step)
+
 	stepStart := time.Now()
 	global := len(xs)
 
 	losses := make([]float64, t.Nodes)
+	rankDur := make([]time.Duration, t.Nodes)
 	var wg sync.WaitGroup
 	for node := 0; node < t.Nodes; node++ {
 		lo := node * global / t.Nodes
@@ -113,16 +199,29 @@ func (t *Trainer) Step(xs, ys []*tensor.Tensor) float64 {
 		wg.Add(1)
 		go func(node, lo, hi int) {
 			defer wg.Done()
+			t0 := time.Now()
+			defer func() {
+				d := time.Since(t0)
+				rankDur[node] = d
+				rankSecondsH.Observe(d.Seconds())
+				if node < len(t.perRankH) {
+					t.perRankH[node].Observe(d.Seconds())
+				}
+			}()
 			m := t.replicas[node]
 			for _, p := range m.Params() {
 				p.ZeroGrad()
 			}
-			if lo == hi {
-				// Ensure gradients exist so the all-reduce stays aligned.
+			if plan.Crashed(node) || lo == hi {
+				// Dead rank or empty shard: keep gradients allocated so a
+				// (possibly partial) all-reduce stays aligned.
 				for _, p := range m.Params() {
 					p.Grad = tensor.New(p.T.Shape...)
 				}
 				return
+			}
+			if d := plan.computeDelay(node); d > 0 {
+				time.Sleep(d) // injected straggler
 			}
 			loss := t.loss(m, xs[lo:hi], ys[lo:hi])
 			// Scale so the all-reduced mean over nodes equals the global
@@ -133,16 +232,25 @@ func (t *Trainer) Step(xs, ys []*tensor.Tensor) float64 {
 		}(node, lo, hi)
 	}
 	wg.Wait()
+	t.checkStragglers(rankDur)
 
-	// Gradient synchronization: one ring all-reduce per parameter
-	// tensor, as gloo buckets do.
+	// Gradient synchronization: one all-reduce per parameter tensor, as
+	// gloo buckets do.
 	params0 := t.replicas[0].Params()
 	for pi := range params0 {
 		vecs := make([][]float32, t.Nodes)
 		for node := 0; node < t.Nodes; node++ {
 			vecs[node] = t.replicas[node].Params()[pi].Grad.Data
 		}
-		AllReduceMean(vecs)
+		if t.ft != nil {
+			if err := ResilientAllReduceMean(vecs, *t.ft); err != nil {
+				return 0, err
+			}
+		} else if t.reduce != nil {
+			t.reduce(vecs)
+		} else {
+			AllReduceMean(vecs)
+		}
 	}
 
 	for _, o := range t.opts {
@@ -169,7 +277,77 @@ func (t *Trainer) Step(xs, ys []*tensor.Tensor) float64 {
 		}
 		gradNormG.Set(math.Sqrt(sq))
 	}
-	return mean
+	t.step++
+	return mean, nil
+}
+
+// checkStragglers compares each rank's compute time against the
+// trainer's historical pooled p99 and raises the warning metric for
+// outliers — the early signal that precedes (and often predicts) a
+// timeout-driven recovery. The current step's durations are folded into
+// the baseline only after the comparison, so a single slow step cannot
+// raise the threshold above itself.
+func (t *Trainer) checkStragglers(rankDur []time.Duration) {
+	defer func() {
+		for _, d := range rankDur {
+			t.pooled.Observe(d.Seconds())
+		}
+	}()
+	if t.Nodes < 2 || t.pooled.Count() < stragglerWarmup {
+		return
+	}
+	factor := t.StragglerFactor
+	if factor <= 0 {
+		factor = 2
+	}
+	threshold := factor * t.pooled.Quantile(0.99)
+	if threshold <= 0 {
+		return
+	}
+	for rank, d := range rankDur {
+		if d.Seconds() > threshold {
+			stragglerWarnings.Inc()
+			stragglerRankG.Set(float64(rank))
+		}
+	}
+}
+
+// RemoveRanks re-forms the group without the given (ascending) ranks:
+// their replicas and optimizer states are dropped, surviving ranks are
+// renumbered densely, and subsequent steps re-shard the global batch
+// over the smaller group. The fault plan (if any) is remapped to the
+// new numbering.
+func (t *Trainer) RemoveRanks(ranks []int) error {
+	if len(ranks) == 0 {
+		return nil
+	}
+	drop := map[int]bool{}
+	for _, r := range ranks {
+		if r < 0 || r >= t.Nodes {
+			return fmt.Errorf("distrib: RemoveRanks: rank %d out of range (group size %d)", r, t.Nodes)
+		}
+		drop[r] = true
+	}
+	if len(drop) >= t.Nodes {
+		return fmt.Errorf("distrib: RemoveRanks would leave an empty group")
+	}
+	var replicas []Model
+	var opts []*nn.Adam
+	for i := 0; i < t.Nodes; i++ {
+		if drop[i] {
+			continue
+		}
+		replicas = append(replicas, t.replicas[i])
+		opts = append(opts, t.opts[i])
+	}
+	t.replicas, t.opts = replicas, opts
+	t.Nodes = len(replicas)
+	rankRemovedCounter.Add(uint64(len(drop)))
+	groupSizeG.Set(float64(t.Nodes))
+	if t.ft != nil {
+		t.ft.Faults.RemoveRanks(ranks)
+	}
+	return nil
 }
 
 // InSync reports whether all replicas hold identical parameters (used by

@@ -1,0 +1,272 @@
+package distrib
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+	"time"
+
+	"computecovid19/internal/obs"
+)
+
+// Fault-tolerant all-reduce path. The plain RingAllReduce assumes every
+// rank is alive and every message arrives intact — true in-process,
+// false on a cluster. This file wraps the same ring algorithm in the
+// machinery a gloo deployment needs: per-message checksums (corruption
+// is detected, not averaged into the gradients), per-collective
+// timeouts (a dead or stalled rank cannot hang the job), and bounded
+// retries with exponential backoff (transient drops and delays heal;
+// confirmed-dead ranks surface as DeadRankError so the trainer can
+// re-form the group).
+
+var (
+	collectiveRetries  = obs.GetCounter("distrib_collective_retries_total")
+	collectiveTimeouts = obs.GetCounter("distrib_collective_timeouts_total")
+	corruptDetected    = obs.GetCounter("distrib_corrupt_payloads_detected_total")
+)
+
+// RingOptions configures the resilient collective.
+type RingOptions struct {
+	// Timeout bounds one attempt of the collective; 0 means 2s.
+	Timeout time.Duration
+	// Retries is how many additional attempts follow a failed one; 0
+	// means 3. Retries only help transient faults — a confirmed-dead
+	// rank fails fast without burning the budget.
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per attempt;
+	// 0 means 1ms.
+	Backoff time.Duration
+	// Faults optionally injects failures (tests, chaos CI) and acts as
+	// the failure detector for crashed ranks. Nil injects nothing.
+	Faults *FaultPlan
+}
+
+func (o RingOptions) withDefaults() RingOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.Retries <= 0 {
+		o.Retries = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = time.Millisecond
+	}
+	return o
+}
+
+// message is one ring hop's payload plus its integrity checksum.
+type message struct {
+	data []float32
+	sum  uint32
+}
+
+func checksum(data []float32) uint32 {
+	var buf [4]byte
+	crc := crc32.NewIEEE()
+	for _, f := range data {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(f))
+		crc.Write(buf[:])
+	}
+	return crc.Sum32()
+}
+
+// transient transport errors (timeouts, corruption) — retried; only a
+// failure-detector-confirmed crash escalates to DeadRankError.
+type transportError struct {
+	rank int // the peer blamed for the failure
+	kind string
+}
+
+func (e *transportError) Error() string {
+	return fmt.Sprintf("distrib: %s involving rank %d", e.kind, e.rank)
+}
+
+// ResilientAllReduceMean averages the per-node vectors in place like
+// AllReduceMean, but over the checksummed, timeout-guarded ring. On
+// success every vector holds the element-wise mean and the return is
+// nil. On failure the input vectors are left untouched (each attempt
+// works on a copy) and the error is either a *DeadRankError (re-form
+// the group, restore a checkpoint) or the last transient error after
+// the retry budget is exhausted.
+func ResilientAllReduceMean(vectors [][]float32, opt RingOptions) error {
+	n := len(vectors)
+	if n == 0 {
+		return nil
+	}
+	length := len(vectors[0])
+	for _, v := range vectors {
+		if len(v) != length {
+			panic("distrib: ResilientAllReduceMean vectors must have equal length")
+		}
+	}
+	if n == 1 || length == 0 {
+		return nil
+	}
+	opt = opt.withDefaults()
+
+	// A rank already confirmed dead makes every attempt pointless.
+	if dead := opt.Faults.DeadRanks(); len(dead) > 0 {
+		return &DeadRankError{Ranks: dead}
+	}
+
+	backoff := opt.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= opt.Retries; attempt++ {
+		if attempt > 0 {
+			collectiveRetries.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		work := make([][]float32, n)
+		for i, v := range vectors {
+			work[i] = append([]float32(nil), v...)
+		}
+		err := faultyRingOnce(work, opt)
+		if err == nil {
+			inv := 1 / float32(n)
+			for i := range vectors {
+				for j := range vectors[i] {
+					vectors[i][j] = work[i][j] * inv
+				}
+			}
+			return nil
+		}
+		lastErr = err
+		// Consult the failure detector: a crash that triggered during
+		// this attempt is permanent, so stop retrying.
+		if dead := opt.Faults.DeadRanks(); len(dead) > 0 {
+			return &DeadRankError{Ranks: dead}
+		}
+	}
+	return fmt.Errorf("distrib: all-reduce failed after %d attempts: %w", opt.Retries+1, lastErr)
+}
+
+// faultyRingOnce runs one attempt of the ring all-reduce (sum) over the
+// fault-injecting, checksummed links. Wire accounting reuses the same
+// counters as the plain ring.
+func faultyRingOnce(vectors [][]float32, opt RingOptions) error {
+	n := len(vectors)
+	length := len(vectors[0])
+	allReduceCalls.Inc()
+	allReduceBytes.Add(uint64(2*(n-1)) * uint64(4*length))
+
+	bounds := make([]int, n+1)
+	for c := 0; c <= n; c++ {
+		bounds[c] = c * length / n
+	}
+	links := make([]chan message, n)
+	for i := range links {
+		links[i] = make(chan message, 1)
+	}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for node := 0; node < n; node++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			if opt.Faults.Crashed(me) {
+				// A dead process sends nothing; its neighbour times out.
+				errs[me] = &transportError{rank: me, kind: "rank crashed"}
+				return
+			}
+			timer := time.NewTimer(opt.Timeout)
+			defer timer.Stop()
+			prev := (me - 1 + n) % n
+			v := vectors[me]
+
+			send := func(lo, hi int) error {
+				out := make([]float32, hi-lo)
+				copy(out, v[lo:hi])
+				msg := message{data: out, sum: checksum(out)}
+				switch opt.Faults.sendFault() {
+				case FaultDrop:
+					return nil // vanished on the wire
+				case FaultDelay:
+					time.Sleep(opt.Faults.Delay)
+				case FaultCorrupt:
+					if len(out) > 0 {
+						out[0] = flipBit(out[0])
+					}
+				}
+				select {
+				case links[me] <- msg:
+					return nil
+				case <-timer.C:
+					collectiveTimeouts.Inc()
+					return &transportError{rank: (me + 1) % n, kind: "send timeout to"}
+				}
+			}
+			recv := func() (message, error) {
+				select {
+				case m := <-links[prev]:
+					if checksum(m.data) != m.sum {
+						corruptDetected.Inc()
+						return message{}, &transportError{rank: prev, kind: "corrupt payload from"}
+					}
+					return m, nil
+				case <-timer.C:
+					collectiveTimeouts.Inc()
+					return message{}, &transportError{rank: prev, kind: "recv timeout from"}
+				}
+			}
+
+			// Reduce-scatter.
+			for step := 0; step < n-1; step++ {
+				sendChunk := (me - step + n) % n
+				if err := send(bounds[sendChunk], bounds[sendChunk+1]); err != nil {
+					errs[me] = err
+					return
+				}
+				recvChunk := (me - step - 1 + n) % n
+				in, err := recv()
+				if err != nil {
+					errs[me] = err
+					return
+				}
+				rlo := bounds[recvChunk]
+				if len(in.data) != bounds[recvChunk+1]-rlo {
+					errs[me] = &transportError{rank: prev, kind: "misframed payload from"}
+					return
+				}
+				for i, x := range in.data {
+					v[rlo+i] += x
+				}
+			}
+			// All-gather.
+			for step := 0; step < n-1; step++ {
+				sendChunk := (me - step + 1 + n) % n
+				if err := send(bounds[sendChunk], bounds[sendChunk+1]); err != nil {
+					errs[me] = err
+					return
+				}
+				recvChunk := (me - step + n) % n
+				in, err := recv()
+				if err != nil {
+					errs[me] = err
+					return
+				}
+				rlo := bounds[recvChunk]
+				if len(in.data) != bounds[recvChunk+1]-rlo {
+					errs[me] = &transportError{rank: prev, kind: "misframed payload from"}
+					return
+				}
+				copy(v[rlo:rlo+len(in.data)], in.data)
+			}
+		}(node)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flipBit corrupts a float payload in a way a checksum always catches.
+func flipBit(f float32) float32 {
+	return math.Float32frombits(math.Float32bits(f) ^ 1)
+}

@@ -72,6 +72,12 @@ func (s *Sequential) stateTensors() []*tensor.Tensor {
 	return ts
 }
 
+// StateTensors exposes the non-parameter state (batch-norm running
+// statistics) of every submodule, satisfying StateProvider so external
+// packages (model files, training checkpoints) can serialize a
+// Sequential-based model without reaching into it.
+func (s *Sequential) StateTensors() []*tensor.Tensor { return s.stateTensors() }
+
 // Func wraps a stateless tape operation (activation, pooling, …) as a
 // Module.
 type Func struct {

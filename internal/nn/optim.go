@@ -124,6 +124,19 @@ func (a *Adam) ZeroGrad() {
 	}
 }
 
+// Moments exposes the live first- and second-moment tensors in parameter
+// order. Checkpointing reads them to snapshot optimizer state and writes
+// into them on restore; bias correction additionally needs StepCount.
+func (a *Adam) Moments() (m, v []*tensor.Tensor) { return a.m, a.v }
+
+// StepCount reports how many Step calls have been applied — the t in
+// Adam's bias correction. A restored optimizer must continue from the
+// saved count or the first post-restore steps are rescaled.
+func (a *Adam) StepCount() int { return a.t }
+
+// SetStepCount restores the bias-correction step counter.
+func (a *Adam) SetStepCount(t int) { a.t = t }
+
 // SetLR changes the learning rate.
 func (a *Adam) SetLR(lr float64) { a.lr = lr }
 

@@ -137,6 +137,53 @@ func (h *Histogram) Cumulative() []uint64 {
 	return out
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// counts, interpolating linearly inside the bucket that contains the
+// target rank — the same estimate Prometheus's histogram_quantile
+// computes. Samples in the +Inf overflow bucket are reported as the
+// largest finite bound (a conservative under-estimate). Returns 0 when
+// the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	cum := h.Cumulative()
+	for i, c := range cum {
+		if float64(c) < target {
+			continue
+		}
+		if i >= len(h.bounds) {
+			// Overflow bucket: no finite upper edge to interpolate to.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		prev := 0.0
+		if i > 0 {
+			prev = float64(cum[i-1])
+		}
+		inBucket := float64(c) - prev
+		if inBucket <= 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(target-prev)/inBucket
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // ExpBuckets returns n exponentially spaced bucket bounds starting at
 // start and growing by factor — the shape latency distributions want.
 func ExpBuckets(start, factor float64, n int) []float64 {
@@ -231,6 +278,23 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
 	}
 	return h
+}
+
+// NewHistogram returns a free-standing histogram that is not attached
+// to any registry — for instance-scoped statistics (e.g. one trainer's
+// timing baseline) that must not pool across instances. Empty bounds
+// select TimeBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = TimeBuckets()
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds not sorted")
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
 }
 
 // reset zeroes every registered metric in place, keeping handles valid.

@@ -2,6 +2,7 @@ package obs_test
 
 import (
 	"context"
+	"math"
 	"strings"
 	"testing"
 
@@ -174,5 +175,45 @@ func TestPrometheusOutputHasHistogramSeries(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("prometheus output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestHistogramQuantile checks the Prometheus-style interpolated
+// quantile the straggler detector thresholds on.
+func TestHistogramQuantile(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("q", []float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 observations uniform over (0, 4]: 25 per bucket up to 4.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	// Median falls in the (1,2] bucket, three quarters through it.
+	if got := h.Quantile(0.5); math.Abs(got-2.0) > 0.5 {
+		t.Fatalf("p50 = %v, want ≈ 2", got)
+	}
+	if p99, p50 := h.Quantile(0.99), h.Quantile(0.5); p99 <= p50 {
+		t.Fatalf("p99 (%v) must exceed p50 (%v)", p99, p50)
+	}
+	// Observations past every finite bound land in +Inf; the quantile
+	// degrades to the largest finite bound rather than inventing values.
+	h2 := r.Histogram("q2", []float64{1})
+	for i := 0; i < 10; i++ {
+		h2.Observe(100)
+	}
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Fatalf("overflow-bucket quantile = %v, want largest finite bound 1", got)
+	}
+	// Clamped inputs.
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Fatal("quantile must be monotone after clamping q to [0,1]")
+	}
+	// A free-standing histogram (no registry) behaves identically.
+	fs := obs.NewHistogram([]float64{1, 2})
+	fs.Observe(1.5)
+	if got := fs.Quantile(1); got <= 0 {
+		t.Fatalf("free-standing histogram quantile = %v, want > 0", got)
 	}
 }

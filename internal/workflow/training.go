@@ -1,0 +1,109 @@
+package workflow
+
+import (
+	"math"
+
+	"computecovid19/internal/distrib"
+)
+
+// Training-side cost model for the fault-tolerant DDP runs: given the
+// Table-3 cluster projection (distrib.ClusterModel) plus checkpointing
+// and failure parameters, project checkpoint overhead, expected
+// time-to-recover after a rank failure, and the end-to-end wall time of
+// a run that suffers failures at a given MTBF. This is the planning
+// companion of internal/distrib's runtime machinery: the runtime
+// recovers from faults, this model prices them.
+
+// RecoveryModel parameterizes fault-tolerance cost projections on top
+// of a ClusterModel.
+type RecoveryModel struct {
+	// Cluster is the per-step cost model (paper Table 3 fit).
+	Cluster distrib.ClusterModel
+	// Nodes and GlobalBatch fix the run geometry.
+	Nodes, GlobalBatch int
+	// CheckpointEvery is the snapshot period in steps.
+	CheckpointEvery int
+	// CheckpointSeconds is the cost of cutting one snapshot (serialize +
+	// fsync + rename).
+	CheckpointSeconds float64
+	// DetectSeconds is the failure-detection latency: the collective
+	// timeout budget (timeout × retries with backoff) before a rank is
+	// confirmed dead.
+	DetectSeconds float64
+	// RestoreSeconds is the cost of loading and applying a snapshot.
+	RestoreSeconds float64
+}
+
+// stepSeconds is the projected step time at the current geometry.
+func (r RecoveryModel) stepSeconds(nodes int) float64 {
+	return r.Cluster.StepSeconds(nodes, r.GlobalBatch)
+}
+
+// ExpectedStepsLost is the mean number of optimizer steps rolled back
+// by a failure: with snapshots every E steps and failures uniform over
+// the interval, E/2.
+func (r RecoveryModel) ExpectedStepsLost() float64 {
+	return float64(r.CheckpointEvery) / 2
+}
+
+// ExpectedRecoverySeconds is the mean wall time from a rank failure to
+// the run being back where it was: detection, group re-formation plus
+// restore, and replaying the lost steps at the survivors' step rate.
+func (r RecoveryModel) ExpectedRecoverySeconds() float64 {
+	survivors := r.Nodes - 1
+	if survivors < 1 {
+		survivors = 1
+	}
+	replay := r.ExpectedStepsLost() * r.stepSeconds(survivors)
+	return r.DetectSeconds + r.RestoreSeconds + replay
+}
+
+// CheckpointOverheadSeconds is the total time spent cutting snapshots
+// over a run of the given epochs.
+func (r RecoveryModel) CheckpointOverheadSeconds(epochs int) float64 {
+	if r.CheckpointEvery <= 0 {
+		return 0
+	}
+	steps := float64(epochs) * float64(r.Cluster.SamplesPerEpoch) / float64(r.GlobalBatch)
+	return steps / float64(r.CheckpointEvery) * r.CheckpointSeconds
+}
+
+// ExpectedFailures is the expected failure count over a fault-free run
+// of the given epochs with mean time between failures mtbfSeconds
+// (0 = no failures).
+func (r RecoveryModel) ExpectedFailures(epochs int, mtbfSeconds float64) float64 {
+	if mtbfSeconds <= 0 {
+		return 0
+	}
+	base := r.Cluster.TrainingSeconds(r.Nodes, r.GlobalBatch, epochs)
+	return base / mtbfSeconds
+}
+
+// ExpectedRunSeconds projects the end-to-end wall time of a run of the
+// given epochs under failures at mtbfSeconds: the fault-free time plus
+// checkpoint overhead plus the expected failure count times the
+// expected recovery cost. (First-order model: failures are rare enough
+// not to compound, and the group is restored to full strength between
+// failures — matching elastic recovery followed by rank replacement.)
+func (r RecoveryModel) ExpectedRunSeconds(epochs int, mtbfSeconds float64) float64 {
+	base := r.Cluster.TrainingSeconds(r.Nodes, r.GlobalBatch, epochs)
+	return base +
+		r.CheckpointOverheadSeconds(epochs) +
+		r.ExpectedFailures(epochs, mtbfSeconds)*r.ExpectedRecoverySeconds()
+}
+
+// OptimalCheckpointIntervalSteps is Young's approximation for the
+// checkpoint period minimizing total expected overhead: the interval
+// (in seconds) is sqrt(2 · checkpointCost · MTBF), converted to steps
+// at the current step rate. Returns at least 1.
+func (r RecoveryModel) OptimalCheckpointIntervalSteps(mtbfSeconds float64) int {
+	if mtbfSeconds <= 0 || r.CheckpointSeconds <= 0 {
+		return 1
+	}
+	seconds := math.Sqrt(2 * r.CheckpointSeconds * mtbfSeconds)
+	steps := seconds / r.stepSeconds(r.Nodes)
+	if steps < 1 {
+		return 1
+	}
+	return int(steps)
+}

@@ -1,0 +1,77 @@
+package workflow
+
+import (
+	"math"
+	"testing"
+
+	"computecovid19/internal/distrib"
+)
+
+func demoRecoveryModel() RecoveryModel {
+	return RecoveryModel{
+		Cluster:           distrib.PaperCluster(),
+		Nodes:             8,
+		GlobalBatch:       32,
+		CheckpointEvery:   50,
+		CheckpointSeconds: 2.0,
+		DetectSeconds:     6.0, // 2s timeout × 3 retries
+		RestoreSeconds:    1.0,
+	}
+}
+
+func TestRecoveryModelExpectedStepsLost(t *testing.T) {
+	r := demoRecoveryModel()
+	if got := r.ExpectedStepsLost(); got != 25 {
+		t.Fatalf("expected steps lost = %v, want 25 (half the checkpoint period)", got)
+	}
+}
+
+func TestRecoveryModelRecoverySeconds(t *testing.T) {
+	r := demoRecoveryModel()
+	got := r.ExpectedRecoverySeconds()
+	replay := 25 * r.Cluster.StepSeconds(7, 32)
+	want := 6.0 + 1.0 + replay
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("recovery seconds = %v, want %v", got, want)
+	}
+	// Recovery must always cost at least detection + restore.
+	if got <= r.DetectSeconds+r.RestoreSeconds {
+		t.Fatal("recovery cannot be cheaper than detection plus restore")
+	}
+}
+
+func TestRecoveryModelRunSecondsMonotonic(t *testing.T) {
+	r := demoRecoveryModel()
+	const epochs = 10
+	base := r.Cluster.TrainingSeconds(r.Nodes, r.GlobalBatch, epochs)
+	noFail := r.ExpectedRunSeconds(epochs, 0)
+	if noFail <= base {
+		t.Fatal("checkpoint overhead must cost something")
+	}
+	flaky := r.ExpectedRunSeconds(epochs, 3600)
+	stable := r.ExpectedRunSeconds(epochs, 7*24*3600)
+	if !(flaky > stable && stable > noFail) {
+		t.Fatalf("run time must grow as MTBF shrinks: flaky=%v stable=%v noFail=%v",
+			flaky, stable, noFail)
+	}
+}
+
+func TestRecoveryModelYoungInterval(t *testing.T) {
+	r := demoRecoveryModel()
+	// Young's formula: interval seconds = sqrt(2 · δ · MTBF).
+	mtbf := 24 * 3600.0
+	steps := r.OptimalCheckpointIntervalSteps(mtbf)
+	wantSeconds := math.Sqrt(2 * r.CheckpointSeconds * mtbf)
+	gotSeconds := float64(steps) * r.Cluster.StepSeconds(r.Nodes, r.GlobalBatch)
+	if math.Abs(gotSeconds-wantSeconds) > r.Cluster.StepSeconds(r.Nodes, r.GlobalBatch) {
+		t.Fatalf("interval %v s, want ≈ %v s", gotSeconds, wantSeconds)
+	}
+	// A flakier cluster should checkpoint more often.
+	if r.OptimalCheckpointIntervalSteps(3600) >= steps {
+		t.Fatal("shorter MTBF must shorten the optimal checkpoint interval")
+	}
+	// Degenerate inputs clamp to 1 step.
+	if r.OptimalCheckpointIntervalSteps(0) != 1 {
+		t.Fatal("zero MTBF must clamp to 1")
+	}
+}

@@ -11,9 +11,13 @@
 # Knobs (environment):
 #   BASE_REF    baseline ref (default: origin/main if it exists, else HEAD~1)
 #   THRESHOLD   allowed ns/op regression in percent (default: 15)
+#   FLOOR       noise floor in ns/op: regressions smaller than this
+#               absolute delta never fail, however large in percent —
+#               keeps single-digit-ns benchmarks from tripping the
+#               blocking gate on jitter (default: 20)
 #   BENCHTIME   go test -benchtime per case (default: 200ms)
-#   COUNT       go test -count; the gate compares per-benchmark minima
-#               across runs to suppress scheduler noise (default: 3)
+#   COUNT       go test -count; the gate compares per-benchmark medians
+#               across runs to suppress scheduler noise (default: 5)
 #   PKGS        packages to benchmark (default: ./internal/kernels/ ./internal/obs/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,8 +31,9 @@ if [ -z "$BASE_REF" ]; then
     fi
 fi
 THRESHOLD="${THRESHOLD:-15}"
+FLOOR="${FLOOR:-20}"
 BENCHTIME="${BENCHTIME:-200ms}"
-COUNT="${COUNT:-3}"
+COUNT="${COUNT:-5}"
 PKGS="${PKGS:-./internal/kernels/ ./internal/obs/}"
 
 tmp="$(mktemp -d)"
@@ -38,7 +43,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "benchcheck: baseline $BASE_REF vs HEAD (threshold ${THRESHOLD}%, benchtime $BENCHTIME, count $COUNT)"
+echo "benchcheck: baseline $BASE_REF vs HEAD (threshold ${THRESHOLD}%, floor ${FLOOR}ns, benchtime $BENCHTIME, count $COUNT)"
 git worktree add --quiet --detach "$tmp/base" "$BASE_REF"
 
 run_bench() { # $1 = tree, $2 = output file
@@ -50,4 +55,4 @@ run_bench . "$tmp/head.txt"
 
 # benchdiff always runs from HEAD's tree, so the baseline does not need
 # to contain the tool.
-go run ./cmd/benchdiff -threshold "$THRESHOLD" "$tmp/base.txt" "$tmp/head.txt"
+go run ./cmd/benchdiff -threshold "$THRESHOLD" -floor "$FLOOR" "$tmp/base.txt" "$tmp/head.txt"

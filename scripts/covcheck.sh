@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# covcheck: minimum-coverage gate for one coverprofile.
+#
+# Reads the `total:` line of `go tool cover -func` and fails when the
+# covered-statement percentage is below the minimum. Used by CI to keep
+# the fault-tolerance machinery (internal/distrib) from losing its test
+# coverage as it grows.
+#
+# Usage: covcheck.sh <profile.out> <min-percent>
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: covcheck.sh <profile.out> <min-percent>" >&2
+    exit 2
+fi
+profile="$1"
+min="$2"
+
+total="$(go tool cover -func="$profile" | awk '/^total:/ {gsub(/%/, "", $3); print $3}')"
+if [ -z "$total" ]; then
+    echo "covcheck: no total line in $profile" >&2
+    exit 2
+fi
+
+echo "covcheck: $profile total coverage ${total}% (minimum ${min}%)"
+# awk handles the float comparison portably.
+if awk -v t="$total" -v m="$min" 'BEGIN { exit !(t < m) }'; then
+    echo "covcheck: coverage ${total}% is below the ${min}% minimum" >&2
+    exit 1
+fi
