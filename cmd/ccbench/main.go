@@ -18,7 +18,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 	"time"
@@ -38,11 +37,18 @@ func main() {
 	kernelsOut := flag.String("kernelsout", "", "write the kernel ladder benchmark's machine-readable report here (BENCH_kernels.json)")
 	flag.Parse()
 
+	log := obs.Log()
 	flush, err := obs.Setup(*tracePath, *metricsPath, *pprofAddr)
 	if err != nil {
-		log.Fatalf("ccbench: %v", err)
+		log.Error("telemetry setup failed", "err", err)
+		os.Exit(1)
 	}
-	defer flush()
+	// flush errors (an unwritable trace/metrics file) must fail the run.
+	defer func() {
+		if err := flush(); err != nil {
+			os.Exit(1)
+		}
+	}()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
@@ -62,10 +68,10 @@ func main() {
 	var acc *experiments.AccuracyResult
 	needAcc := sel("table8") || sel("table9") || sel("figure11") || sel("figure12") || sel("figure13")
 	if needAcc {
-		fmt.Fprintln(os.Stderr, "ccbench: running the accuracy experiment (trains DDnet + classifier)...")
+		log.Info("running the accuracy experiment (trains DDnet + classifier)")
 		start := time.Now()
 		acc = experiments.RunAccuracy(cfg)
-		fmt.Fprintf(os.Stderr, "ccbench: accuracy experiment done in %v\n", time.Since(start).Round(time.Second))
+		log.Info("accuracy experiment done", "elapsed", time.Since(start).Round(time.Second))
 	}
 
 	type item struct {

@@ -107,7 +107,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("ccovid: %v", err)
 	}
-	defer flush()
+	// flush errors (an unwritable trace/metrics file) must fail the run.
+	defer func() {
+		if err := flush(); err != nil {
+			os.Exit(1)
+		}
+	}()
 
 	enh := ddnet.New(rand.New(rand.NewSource(1)), ddnet.TinyConfig())
 

@@ -27,7 +27,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"net/http"
 	"os"
@@ -55,13 +54,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "demo-weight initialization seed")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
+	flightDir := flag.String("flight-dir", "", "flight-recorder dump directory (enables tracing; dumps on SIGQUIT, deadline-exceeded, and 5xx)")
+	sloLatency := flag.Duration("slo-latency", 2*time.Second, "SLO: good-request latency threshold for /v1/scan")
+	sloObjective := flag.Float64("slo-objective", 0.95, "SLO: target fraction of requests under the latency threshold")
+	sloWindow := flag.Duration("slo-window", time.Hour, "SLO: error-budget accounting window")
 	flag.Parse()
 
+	log := obs.Log()
 	flush, err := obs.Setup(*tracePath, "", *pprofAddr)
 	if err != nil {
-		log.Fatalf("ccserve: %v", err)
+		log.Error("telemetry setup failed", "err", err)
+		os.Exit(1)
 	}
-	defer flush()
+	if *flightDir != "" {
+		// The flight recorder needs span collection even when no trace
+		// file was requested.
+		obs.Enable()
+		defer obs.DumpFlightOnSignal(*flightDir)()
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var enhancer *ddnet.DDnet
@@ -79,9 +89,16 @@ func main() {
 		CacheSize:       *cacheSize,
 		DefaultDeadline: *deadline,
 		ModelVersion:    fmt.Sprintf("demo-seed%d", *seed),
+		FlightDir:       *flightDir,
+		SLO: obs.SLOConfig{
+			LatencyThreshold: *sloLatency,
+			LatencyObjective: *sloObjective,
+			Window:           *sloWindow,
+		},
 	})
 	if err != nil {
-		log.Fatalf("ccserve: %v", err)
+		log.Error("server construction failed", "err", err)
+		os.Exit(1)
 	}
 	s.Start()
 
@@ -91,25 +108,31 @@ func main() {
 
 	go func() {
 		<-ctx.Done()
-		log.Printf("ccserve: signal received, draining (up to %v)...", *drainTimeout)
+		log.Info("signal received, draining", "timeout", *drainTimeout)
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		// Drain first so clients can still poll for their results while
 		// accepted scans finish; then close the listener.
 		if err := s.Drain(drainCtx); err != nil {
-			log.Printf("ccserve: drain: %v", err)
+			log.Error("drain incomplete", "err", err)
 		}
 		shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel2()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			log.Printf("ccserve: shutdown: %v", err)
+			log.Error("shutdown failed", "err", err)
 		}
 	}()
 
-	log.Printf("ccserve: serving on %s (workers=%d queue=%d batch=%d cache=%d enhance=%v)",
-		*addr, *workers, *queue, *batch, *cacheSize, *enhance)
+	log.Info("serving", "addr", *addr, "workers", *workers, "queue", *queue,
+		"batch", *batch, "cache", *cacheSize, "enhance", *enhance, "flight_dir", *flightDir)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("ccserve: %v", err)
+		log.Error("listener failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("ccserve: drained and stopped")
+	log.Info("drained and stopped")
+	// A run whose requested telemetry could not be written must not
+	// exit clean.
+	if err := flush(); err != nil {
+		os.Exit(1)
+	}
 }

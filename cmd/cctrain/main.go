@@ -20,9 +20,8 @@ package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
 	"math/rand"
+	"os"
 
 	"computecovid19/internal/classify"
 	"computecovid19/internal/core"
@@ -49,20 +48,29 @@ func main() {
 	ckptKeep := flag.Int("ckpt-keep", 0, "checkpoints retained (0 = default, negative = all)")
 	resume := flag.Bool("resume", false, "resume from the latest checkpoint in -ckptdir (bit-identical continuation)")
 	flag.Parse()
+	log := obs.Log()
 	if *out == "" {
-		log.Fatal("cctrain: -out is required")
+		log.Error("-out is required")
+		os.Exit(2)
 	}
 
 	flush, err := obs.Setup(*tracePath, *metricsPath, *pprofAddr)
 	if err != nil {
-		log.Fatalf("cctrain: %v", err)
+		log.Error("telemetry setup failed", "err", err)
+		os.Exit(1)
 	}
-	defer flush()
+	// flush errors (an unwritable trace/metrics file) must fail the run.
+	defer func() {
+		if err := flush(); err != nil {
+			os.Exit(1)
+		}
+	}()
 
 	switch *what {
 	case "enhancer":
 		if *nodes > 1 || *ckptDir != "" {
-			log.Fatal("cctrain: -nodes/-ckptdir apply to -what classifier only")
+			log.Error("-nodes/-ckptdir apply to -what classifier only")
+			os.Exit(2)
 		}
 		trainEnhancer(*epochs, *size, *count, *seed, *out)
 	case "classifier":
@@ -74,7 +82,8 @@ func main() {
 			trainClassifier(*epochs, *size, *depth, *count, *seed, *out)
 		}
 	default:
-		log.Fatalf("cctrain: unknown -what %q", *what)
+		log.Error("unknown -what", "what", *what)
+		os.Exit(2)
 	}
 }
 
@@ -93,25 +102,26 @@ func trainEnhancer(epochs, size, count int, seed int64, out string) {
 	cfg.Detectors = 64
 	cfg.DoseDivisor = 1e4
 	cfg.Seed = seed
-	fmt.Printf("building %d clean/low-dose pairs at %d px...\n", count, size)
+	log := obs.Log()
+	log.Info("building enhancement pairs", "count", count, "size", size)
 	pairs := dataset.BuildEnhancement(cfg)
 
 	m := ddnet.New(rand.New(rand.NewSource(seed)), ddnet.TinyConfig())
 	tc := core.DefaultEnhancerTraining()
 	tc.Epochs = epochs
 	tc.Seed = seed
-	fmt.Printf("training DDnet (%d params) for %d epochs...\n", nn.NumParams(m.Params()), epochs)
+	log.Info("training DDnet", "params", nn.NumParams(m.Params()), "epochs", epochs)
 	curve := core.TrainEnhancer(m, pairs, tc)
-	fmt.Printf("loss: %.5f -> %.5f\n", curve[0], curve[len(curve)-1])
+	log.Info("enhancer trained", "loss_first", curve[0], "loss_last", curve[len(curve)-1])
 
 	mseYX, ssYX, mseYFX, ssYFX := core.EvaluateEnhancer(m, pairs)
-	fmt.Printf("train-set Table 8: Y-X mse %.5f msssim %.2f%% | Y-f(X) mse %.5f msssim %.2f%%\n",
-		mseYX, ssYX*100, mseYFX, ssYFX*100)
+	log.Info("train-set Table 8", "mse_yx", mseYX, "msssim_yx", ssYX, "mse_yfx", mseYFX, "msssim_yfx", ssYFX)
 
 	if err := nn.SaveModuleFile(out, m); err != nil {
-		log.Fatal(err)
+		log.Error("saving model failed", "path", out, "err", err)
+		os.Exit(1)
 	}
-	fmt.Println("saved", out)
+	log.Info("saved model", "path", out)
 }
 
 func trainClassifierElastic(epochs, size, depth, count int, seed int64, out string, nodes int, ef elasticFlags) {
@@ -123,7 +133,8 @@ func trainClassifierElastic(epochs, size, depth, count int, seed int64, out stri
 	cfg.Depth = depth
 	cfg.Count = count
 	cfg.Seed = seed
-	fmt.Printf("building %d labelled volumes (%dx%dx%d)...\n", count, depth, size, size)
+	log := obs.Log()
+	log.Info("building cohort", "count", count, "depth", depth, "size", size)
 	cases := dataset.BuildCohort(cfg)
 
 	factory := func() *classify.Classifier {
@@ -134,8 +145,8 @@ func trainClassifierElastic(epochs, size, depth, count int, seed int64, out stri
 	tc.LR = 5e-3
 	tc.Augment = false
 	tc.Seed = seed
-	fmt.Printf("training 3D DenseNet (%d params) on %d rank(s), checkpoints in %q...\n",
-		nn.NumParams(factory().Params()), nodes, ef.dir)
+	log.Info("training 3D DenseNet (elastic)", "params", nn.NumParams(factory().Params()),
+		"ranks", nodes, "ckptdir", ef.dir)
 	c, res, err := core.TrainClassifierDDPElastic(factory, cases, tc, nodes, core.DDPFaultConfig{
 		CheckpointDir:   ef.dir,
 		CheckpointEvery: ef.every,
@@ -143,28 +154,31 @@ func trainClassifierElastic(epochs, size, depth, count int, seed int64, out stri
 		Resume:          ef.resume,
 	})
 	if err != nil {
-		log.Fatalf("cctrain: elastic training failed: %v", err)
+		log.Error("elastic training failed", "err", err)
+		os.Exit(1)
 	}
 	if res.FirstStep > 0 {
-		fmt.Printf("resumed from step %d\n", res.FirstStep)
+		log.Info("resumed from checkpoint", "step", res.FirstStep)
 	}
 	if len(res.Losses) > 0 {
-		fmt.Printf("loss: %.5f -> %.5f over steps %d..%d\n",
-			res.Losses[0], res.Losses[len(res.Losses)-1], res.FirstStep, res.Steps)
+		log.Info("classifier trained", "loss_first", res.Losses[0],
+			"loss_last", res.Losses[len(res.Losses)-1], "first_step", res.FirstStep, "steps", res.Steps)
 	}
 	for _, ev := range res.Recoveries {
-		fmt.Printf("recovery: rank(s) %v died at step %d; restored step %d (%d steps replayed) in %.3fs, %d rank(s) continue\n",
-			ev.DeadRanks, ev.FailedStep, ev.RestoredStep, ev.StepsLost, ev.Seconds, ev.Nodes)
+		log.Info("recovery", "dead_ranks", ev.DeadRanks, "failed_step", ev.FailedStep,
+			"restored_step", ev.RestoredStep, "steps_replayed", ev.StepsLost,
+			"seconds", ev.Seconds, "ranks_continue", ev.Nodes)
 	}
 
 	p := core.NewPipeline(nil, c)
 	ev := core.EvaluateCohort(p, cases)
-	fmt.Printf("train-set accuracy %.1f%%, AUC %.3f\n", ev.Accuracy*100, ev.AUC)
+	log.Info("train-set evaluation", "accuracy", ev.Accuracy, "auc", ev.AUC)
 
 	if err := nn.SaveModuleFile(out, c); err != nil {
-		log.Fatal(err)
+		log.Error("saving model failed", "path", out, "err", err)
+		os.Exit(1)
 	}
-	fmt.Println("saved", out)
+	log.Info("saved model", "path", out)
 }
 
 func trainClassifier(epochs, size, depth, count int, seed int64, out string) {
@@ -173,7 +187,8 @@ func trainClassifier(epochs, size, depth, count int, seed int64, out string) {
 	cfg.Depth = depth
 	cfg.Count = count
 	cfg.Seed = seed
-	fmt.Printf("building %d labelled volumes (%dx%dx%d)...\n", count, depth, size, size)
+	log := obs.Log()
+	log.Info("building cohort", "count", count, "depth", depth, "size", size)
 	cases := dataset.BuildCohort(cfg)
 
 	c := classify.New(rand.New(rand.NewSource(seed)), classify.SmallConfig())
@@ -182,16 +197,17 @@ func trainClassifier(epochs, size, depth, count int, seed int64, out string) {
 	tc.LR = 5e-3
 	tc.Augment = false
 	tc.Seed = seed
-	fmt.Printf("training 3D DenseNet (%d params) for %d epochs...\n", nn.NumParams(c.Params()), epochs)
+	log.Info("training 3D DenseNet", "params", nn.NumParams(c.Params()), "epochs", epochs)
 	curve := core.TrainClassifier(c, cases, tc)
-	fmt.Printf("loss: %.5f -> %.5f\n", curve[0], curve[len(curve)-1])
+	log.Info("classifier trained", "loss_first", curve[0], "loss_last", curve[len(curve)-1])
 
 	p := core.NewPipeline(nil, c)
 	ev := core.EvaluateCohort(p, cases)
-	fmt.Printf("train-set accuracy %.1f%%, AUC %.3f\n", ev.Accuracy*100, ev.AUC)
+	log.Info("train-set evaluation", "accuracy", ev.Accuracy, "auc", ev.AUC)
 
 	if err := nn.SaveModuleFile(out, c); err != nil {
-		log.Fatal(err)
+		log.Error("saving model failed", "path", out, "err", err)
+		os.Exit(1)
 	}
-	fmt.Println("saved", out)
+	log.Info("saved model", "path", out)
 }

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -92,6 +93,12 @@ func (p *Pipeline) Enhance(v *volume.Volume) *volume.Volume {
 	return p.enhance(v, obs.Start("core/enhance"))
 }
 
+// EnhanceCtx is Enhance continuing the context's trace.
+func (p *Pipeline) EnhanceCtx(ctx context.Context, v *volume.Volume) *volume.Volume {
+	_, sp := obs.StartCtx(ctx, "core/enhance")
+	return p.enhance(v, sp)
+}
+
 // enhance is Enhance under a caller-provided span (nil = untraced).
 func (p *Pipeline) enhance(v *volume.Volume, sp *obs.Span) *volume.Volume {
 	start := time.Now()
@@ -122,7 +129,14 @@ func (p *Pipeline) enhance(v *volume.Volume, sp *obs.Span) *volume.Volume {
 // Diagnose runs the full workflow of Figure 4 on an HU volume:
 // enhancement, lung segmentation, masking, classification.
 func (p *Pipeline) Diagnose(v *volume.Volume) Result {
-	sp := obs.Start("core/diagnose")
+	return p.DiagnoseCtx(context.Background(), v)
+}
+
+// DiagnoseCtx is Diagnose continuing the context's trace: the
+// core/diagnose span (and the stage spans under it) nests under the
+// caller's active span instead of rooting a fresh trace.
+func (p *Pipeline) DiagnoseCtx(ctx context.Context, v *volume.Volume) Result {
+	_, sp := obs.StartCtx(ctx, "core/diagnose")
 	start := time.Now()
 
 	enhanced := p.enhance(v, sp.Child("core/enhance"))
@@ -141,7 +155,13 @@ func (p *Pipeline) Diagnose(v *volume.Volume) Result {
 // the pipeline metrics. On a warm pipeline (see Warm) it is safe for
 // concurrent use.
 func (p *Pipeline) Classify(enhanced *volume.Volume) Result {
-	sp := obs.Start("core/diagnose")
+	return p.ClassifyCtx(context.Background(), enhanced)
+}
+
+// ClassifyCtx is Classify continuing the context's trace, so a serving
+// request's trace covers segmentation and classification.
+func (p *Pipeline) ClassifyCtx(ctx context.Context, enhanced *volume.Volume) Result {
+	_, sp := obs.StartCtx(ctx, "core/diagnose")
 	start := time.Now()
 	r := p.classifyEnhanced(enhanced, sp)
 	scanSeconds.Observe(time.Since(start).Seconds())

@@ -21,6 +21,7 @@
 package ddnet
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 
@@ -161,11 +162,26 @@ func (m *DDnet) NumDeconvLayers() int { return 2 * m.Cfg.Stages }
 // Forward enhances a batch of (N, 1, H, W) images in [0, 1]. H and W
 // must be divisible by 2^Stages.
 func (m *DDnet) Forward(x *ag.Value) *ag.Value {
-	sp := obs.Start("ddnet/forward")
+	return m.ForwardCtx(context.Background(), x)
+}
+
+// ForwardCtx is Forward continuing the context's trace: the forward
+// span nests under the caller's active span (the serving micro-batch,
+// a training step), so a request trace reaches layer depth.
+func (m *DDnet) ForwardCtx(ctx context.Context, x *ag.Value) *ag.Value {
+	_, sp := obs.StartCtx(ctx, "ddnet/forward")
 	defer sp.End()
+	// Every convolution and deconvolution below runs on the selected
+	// kernel rung; the rung span pins which ladder point produced the
+	// timing, parenting the per-stage spans.
+	ksp := sp.Child("kernels/rung")
+	if ksp != nil {
+		ksp.SetAttr("rung", kernels.Default().Name)
+	}
+	defer ksp.End()
 	act := func(v *ag.Value) *ag.Value { return ag.LeakyReLU(v, m.Cfg.Slope) }
 
-	stemSp := sp.Child("ddnet/stem")
+	stemSp := ksp.Child("ddnet/stem")
 	stem := act(m.bnIn.Forward(m.convIn.Forward(x)))
 	stemSp.End()
 
@@ -178,10 +194,10 @@ func (m *DDnet) Forward(x *ag.Value) *ag.Value {
 	// Stage names are built only when tracing, so the disabled path
 	// allocates nothing.
 	stageSpan := func(kind string, s int) *obs.Span {
-		if sp == nil {
+		if ksp == nil {
 			return nil
 		}
-		return sp.Child("ddnet/" + kind + strconv.Itoa(s))
+		return ksp.Child("ddnet/" + kind + strconv.Itoa(s))
 	}
 	for s := 0; s < m.Cfg.Stages; s++ {
 		ssp := stageSpan("enc", s)
@@ -286,6 +302,12 @@ func (m *DDnet) Enhance(img *tensor.Tensor) *tensor.Tensor {
 // test). On a warm network (eval mode already set) concurrent callers
 // must still serialize: one forward pass at a time per weight set.
 func (m *DDnet) EnhanceBatch(imgs []*tensor.Tensor) []*tensor.Tensor {
+	return m.EnhanceBatchCtx(context.Background(), imgs)
+}
+
+// EnhanceBatchCtx is EnhanceBatch continuing the context's trace into
+// the forward pass.
+func (m *DDnet) EnhanceBatchCtx(ctx context.Context, imgs []*tensor.Tensor) []*tensor.Tensor {
 	if len(imgs) == 0 {
 		return nil
 	}
@@ -303,7 +325,7 @@ func (m *DDnet) EnhanceBatch(imgs []*tensor.Tensor) []*tensor.Tensor {
 	for i, img := range imgs {
 		copy(x.Data[i*h*w:(i+1)*h*w], img.Data)
 	}
-	out := m.Forward(ag.Const(x))
+	out := m.ForwardCtx(ctx, ag.Const(x))
 	res := make([]*tensor.Tensor, len(imgs))
 	for i := range imgs {
 		t := tensor.New(h, w)

@@ -1,0 +1,29 @@
+package distrib
+
+import (
+	"os"
+	"testing"
+
+	"computecovid19/internal/obs"
+)
+
+// TestMain wires the flight recorder into the chaos suite: when
+// CC_FLIGHT_DIR is set (the CI chaos job sets it), span collection is
+// enabled and a failing run dumps the retained traces there — the
+// uploaded artifact then carries per-rank and all-reduce spans of the
+// failing fault scenario instead of just the test log.
+func TestMain(m *testing.M) {
+	dir := os.Getenv("CC_FLIGHT_DIR")
+	if dir != "" {
+		obs.Enable()
+	}
+	code := m.Run()
+	if dir != "" && code != 0 {
+		if path, err := obs.DumpFlight(dir, "distrib test failure"); err != nil {
+			obs.Log().Error("flight dump failed", "dir", dir, "err", err)
+		} else {
+			obs.Log().Info("flight recorder dumped", "path", path)
+		}
+	}
+	os.Exit(code)
+}

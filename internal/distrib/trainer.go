@@ -1,6 +1,7 @@
 package distrib
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -172,10 +173,18 @@ func (t *Trainer) Step(xs, ys []*tensor.Tensor) float64 {
 // inconsistent: re-form the group (RemoveRanks) and Restore the last
 // checkpoint before stepping again. RunElastic automates that loop.
 func (t *Trainer) TryStep(xs, ys []*tensor.Tensor) (float64, error) {
+	return t.TryStepCtx(context.Background(), xs, ys)
+}
+
+// TryStepCtx is TryStep continuing the context's trace: the step span
+// nests under the caller's active span, and per-rank compute plus the
+// gradient all-reduce get child spans — stragglers show up in traces,
+// not just in the rank-seconds histograms.
+func (t *Trainer) TryStepCtx(ctx context.Context, xs, ys []*tensor.Tensor) (float64, error) {
 	if len(xs) != len(ys) || len(xs) == 0 {
 		panic("distrib: Step needs equally many inputs and targets")
 	}
-	sp := obs.Start("distrib/step")
+	_, sp := obs.StartCtx(ctx, "distrib/step")
 	defer sp.End()
 	if sp != nil {
 		sp.SetAttr("nodes", t.Nodes)
@@ -199,6 +208,11 @@ func (t *Trainer) TryStep(xs, ys []*tensor.Tensor) (float64, error) {
 		wg.Add(1)
 		go func(node, lo, hi int) {
 			defer wg.Done()
+			rsp := sp.Child("distrib/rank")
+			if rsp != nil {
+				rsp.SetAttr("rank", node)
+				rsp.SetAttr("shard", hi-lo)
+			}
 			t0 := time.Now()
 			defer func() {
 				d := time.Since(t0)
@@ -207,6 +221,7 @@ func (t *Trainer) TryStep(xs, ys []*tensor.Tensor) (float64, error) {
 				if node < len(t.perRankH) {
 					t.perRankH[node].Observe(d.Seconds())
 				}
+				rsp.End()
 			}()
 			m := t.replicas[node]
 			for _, p := range m.Params() {
@@ -235,15 +250,23 @@ func (t *Trainer) TryStep(xs, ys []*tensor.Tensor) (float64, error) {
 	t.checkStragglers(rankDur)
 
 	// Gradient synchronization: one all-reduce per parameter tensor, as
-	// gloo buckets do.
+	// gloo buckets do. One collective span covers the whole sweep; its
+	// byte count is the step's wire traffic.
+	arSp := sp.Child("distrib/allreduce")
 	params0 := t.replicas[0].Params()
+	gradBytes := 0
 	for pi := range params0 {
 		vecs := make([][]float32, t.Nodes)
 		for node := 0; node < t.Nodes; node++ {
 			vecs[node] = t.replicas[node].Params()[pi].Grad.Data
 		}
+		gradBytes += 4 * len(vecs[0]) * t.Nodes
 		if t.ft != nil {
 			if err := ResilientAllReduceMean(vecs, *t.ft); err != nil {
+				if arSp != nil {
+					arSp.SetAttr("error", err.Error())
+				}
+				arSp.End()
 				return 0, err
 			}
 		} else if t.reduce != nil {
@@ -252,6 +275,11 @@ func (t *Trainer) TryStep(xs, ys []*tensor.Tensor) (float64, error) {
 			AllReduceMean(vecs)
 		}
 	}
+	if arSp != nil {
+		arSp.SetAttr("params", len(params0))
+		arSp.SetAttr("bytes", gradBytes)
+	}
+	arSp.End()
 
 	for _, o := range t.opts {
 		o.Step()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"computecovid19/internal/kernels"
+	"computecovid19/internal/obs"
 )
 
 // KernelLayerResult is one (rung, layer-shape) cell of the kernel
@@ -38,7 +39,8 @@ type KernelRungResult struct {
 // benchcheck workflow uploads it as an artifact) and by EXPERIMENTS.md.
 type KernelsReport struct {
 	Bench     string             `json:"bench"` // "kernels"
-	Size      int                `json:"size"`  // Table 2 trunk resolution used
+	BuildInfo obs.BuildInfoData  `json:"build_info"`
+	Size      int                `json:"size"` // Table 2 trunk resolution used
 	DDnetSize int                `json:"ddnet_size"`
 	Workers   int                `json:"workers"` // per-kernel worker count (1 = pure kernel quality)
 	MaxProcs  int                `json:"maxprocs"`
@@ -80,7 +82,8 @@ func KernelsBench(cfg Config, outPath string) string {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	rep := KernelsReport{
-		Bench: "kernels", Size: size, DDnetSize: ddnetSize,
+		Bench: "kernels", BuildInfo: obs.NewBuildInfo(names),
+		Size: size, DDnetSize: ddnetSize,
 		Workers: 1, MaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for _, name := range names {

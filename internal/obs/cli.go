@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -10,7 +11,7 @@ import (
 )
 
 // Setup wires the standard telemetry CLI flags shared by cmd/ccovid,
-// cmd/cctrain and cmd/ccbench:
+// cmd/cctrain, cmd/ccbench and cmd/ccserve:
 //
 //	-trace FILE    write a Chrome trace_event JSON file on exit
 //	-metrics FILE  write metrics on exit (.json → JSON dump, else
@@ -22,8 +23,10 @@ import (
 // on the nil-sink fast path. Both files are created eagerly so an
 // unwritable path fails here, before the run, not at flush time. The
 // returned flush writes the requested files (and a text summary to
-// stderr) — defer it in main.
-func Setup(tracePath, metricsPath, pprofAddr string) (flush func(), err error) {
+// stderr) and returns the first write error — check it in main and exit
+// non-zero, so a run whose telemetry was requested but lost is not
+// reported as clean.
+func Setup(tracePath, metricsPath, pprofAddr string) (flush func() error, err error) {
 	for _, path := range []string{tracePath, metricsPath} {
 		if path == "" {
 			continue
@@ -40,17 +43,19 @@ func Setup(tracePath, metricsPath, pprofAddr string) (flush func(), err error) {
 	if pprofAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "obs: pprof server:", err)
+				logger().Error("pprof server failed", "addr", pprofAddr, "err", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "obs: serving net/http/pprof on http://%s/debug/pprof\n", pprofAddr)
+		logger().Info("serving net/http/pprof", "url", fmt.Sprintf("http://%s/debug/pprof", pprofAddr))
 	}
-	return func() {
+	return func() error {
+		var errs []error
 		if tracePath != "" {
 			if err := writeFile(tracePath, WriteChromeTrace); err != nil {
-				fmt.Fprintln(os.Stderr, "obs: writing trace:", err)
+				logger().Error("writing trace failed", "path", tracePath, "err", err)
+				errs = append(errs, fmt.Errorf("trace %s: %w", tracePath, err))
 			} else {
-				fmt.Fprintf(os.Stderr, "obs: wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", tracePath)
+				logger().Info("wrote Chrome trace (load in chrome://tracing or ui.perfetto.dev)", "path", tracePath)
 			}
 		}
 		if metricsPath != "" {
@@ -59,12 +64,14 @@ func Setup(tracePath, metricsPath, pprofAddr string) (flush func(), err error) {
 				write = WriteJSON
 			}
 			if err := writeFile(metricsPath, write); err != nil {
-				fmt.Fprintln(os.Stderr, "obs: writing metrics:", err)
+				logger().Error("writing metrics failed", "path", metricsPath, "err", err)
+				errs = append(errs, fmt.Errorf("metrics %s: %w", metricsPath, err))
 			} else {
-				fmt.Fprintln(os.Stderr, "obs: wrote metrics to", metricsPath)
+				logger().Info("wrote metrics", "path", metricsPath)
 			}
 			WriteText(os.Stderr)
 		}
+		return errors.Join(errs...)
 	}, nil
 }
 

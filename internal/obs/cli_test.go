@@ -1,0 +1,128 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"computecovid19/internal/obs"
+)
+
+func TestSetupDisabledIsInert(t *testing.T) {
+	defer obs.Reset()
+	obs.Reset()
+	flush, err := obs.Setup("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := obs.Start("x"); sp != nil {
+		t.Fatal("Setup without outputs must leave span collection disabled")
+	}
+	if err := flush(); err != nil {
+		t.Fatalf("no-op flush returned %v", err)
+	}
+}
+
+func TestSetupWritesTraceAndMetricsFiles(t *testing.T) {
+	defer obs.Reset()
+	obs.Reset()
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	flush, err := obs.Setup(tracePath, metricsPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requesting a trace file enables span collection.
+	sp := obs.Start("work")
+	if sp == nil {
+		t.Fatal("Setup with a trace path must enable spans")
+	}
+	sp.End()
+	obs.GetCounter("cli_test_total").Inc()
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var chromeTrace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &chromeTrace); err != nil {
+		t.Fatal(err)
+	}
+	if len(chromeTrace.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	var metrics map[string]any
+	data, err = os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &metrics); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetupMetricsPrometheusFormat(t *testing.T) {
+	defer obs.Reset()
+	obs.Reset()
+	metricsPath := filepath.Join(t.TempDir(), "metrics.prom")
+	flush, err := obs.Setup("", metricsPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.GetCounter("cli_prom_total").Inc()
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	if !strings.Contains(got, "# TYPE cli_prom_total counter") ||
+		!strings.Contains(got, "cli_prom_total 1") {
+		t.Fatalf("expected Prometheus text output, got: %q", got)
+	}
+}
+
+func TestSetupRejectsUnwritablePathEagerly(t *testing.T) {
+	defer obs.Reset()
+	obs.Reset()
+	bad := filepath.Join(t.TempDir(), "missing-dir", "trace.json")
+	if _, err := obs.Setup(bad, "", ""); err == nil {
+		t.Fatal("Setup must fail before the run when the trace path is unwritable")
+	}
+	if _, err := obs.Setup("", bad, ""); err == nil {
+		t.Fatal("Setup must fail before the run when the metrics path is unwritable")
+	}
+}
+
+func TestSetupFlushPropagatesWriteError(t *testing.T) {
+	defer obs.Reset()
+	obs.Reset()
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	flush, err := obs.Setup(tracePath, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The path was writable at Setup but breaks before exit (disk gone,
+	// file replaced by a directory, ...). flush must surface that instead
+	// of letting the run exit clean with its telemetry silently lost.
+	if err := os.Remove(tracePath); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(tracePath, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := flush(); err == nil {
+		t.Fatal("flush must return the trace write error")
+	}
+}

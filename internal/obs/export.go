@@ -242,22 +242,40 @@ func sortedKeys[V any](m map[string]V) []string {
 }
 
 // chromeEvent is one trace_event in the Chrome/Perfetto JSON format:
-// complete events (ph "X") with microsecond timestamps.
+// complete events (ph "X") with microsecond timestamps, plus flow
+// events (ph "s"/"f") rendering cross-trace span links as arrows.
 type chromeEvent struct {
 	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
+	ID   string         `json:"id,omitempty"` // flow binding id
+	BP   string         `json:"bp,omitempty"` // flow binding point
 	PID  int            `json:"pid"`
 	TID  int64          `json:"tid"`
 	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur"`
+	Dur  float64        `json:"dur,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
 // writeChromeTrace renders records in the trace_event JSON object
 // format ({"traceEvents": [...]}), loadable in chrome://tracing and
-// Perfetto.
+// Perfetto. TIDs are goroutine ids, so concurrent work renders on its
+// own track; span links (batch → request fan-in) become flow arrows
+// when the linked span is present in the buffer.
 func writeChromeTrace(w io.Writer, recs []SpanRecord) error {
+	// Where each span lives in the viewer, for flow-arrow endpoints.
+	type spanPos struct {
+		ts  float64
+		tid int64
+	}
+	index := make(map[SpanID]spanPos)
+	for _, r := range recs {
+		if !r.ID.IsZero() {
+			index[r.ID] = spanPos{ts: float64(r.Start.Nanoseconds()) / 1e3, tid: r.TID}
+		}
+	}
 	events := make([]chromeEvent, 0, len(recs))
+	flowID := 0
 	for _, r := range recs {
 		ev := chromeEvent{
 			Name: r.Name,
@@ -267,13 +285,28 @@ func writeChromeTrace(w io.Writer, recs []SpanRecord) error {
 			Ts:   float64(r.Start.Nanoseconds()) / 1e3,
 			Dur:  float64(r.Dur.Nanoseconds()) / 1e3,
 		}
-		if len(r.Attrs) > 0 {
-			ev.Args = make(map[string]any, len(r.Attrs))
+		if len(r.Attrs) > 0 || !r.Trace.IsZero() {
+			ev.Args = make(map[string]any, len(r.Attrs)+2)
 			for _, a := range r.Attrs {
 				ev.Args[a.Key] = a.Value
 			}
+			if !r.Trace.IsZero() {
+				ev.Args["trace_id"] = r.Trace.String()
+				ev.Args["span_id"] = r.ID.String()
+			}
 		}
 		events = append(events, ev)
+		for _, link := range r.Links {
+			src, ok := index[link.Span]
+			if !ok {
+				continue // linked span not in the buffer; nothing to draw
+			}
+			flowID++
+			id := strconv.Itoa(flowID)
+			events = append(events,
+				chromeEvent{Name: "link", Cat: "link", Ph: "s", ID: id, PID: 1, TID: src.tid, Ts: src.ts},
+				chromeEvent{Name: "link", Cat: "link", Ph: "f", ID: id, BP: "e", PID: 1, TID: r.TID, Ts: ev.Ts})
+		}
 	}
 	// Stable viewer-friendly order: by start time, then track.
 	sort.SliceStable(events, func(i, j int) bool {

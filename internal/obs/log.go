@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// Structured logging with trace correlation. Log() returns the process
+// *slog.Logger; its handler reads the emit call's context at record time
+// (l.InfoContext(ctx, ...)) and attaches trace_id/span_id, so any log
+// line emitted inside a traced request joins with its flight-recorder
+// dump or Chrome trace on the trace id. Logger(ctx) pre-binds the span
+// for call sites that emit without a context.
+
+// traceHandler decorates an inner slog.Handler with span identity: the
+// span bound at construction (Logger(ctx)), else the emit context's
+// active span.
+type traceHandler struct {
+	inner slog.Handler
+	sp    *Span // pre-bound span; nil → resolve from emit ctx
+}
+
+func (h traceHandler) Enabled(ctx context.Context, lv slog.Level) bool {
+	return h.inner.Enabled(ctx, lv)
+}
+
+func (h traceHandler) Handle(ctx context.Context, rec slog.Record) error {
+	sp := h.sp
+	if sp == nil {
+		sp = FromContext(ctx)
+	}
+	if sp != nil {
+		rec.AddAttrs(
+			slog.String("trace_id", sp.TraceID().String()),
+			slog.String("span_id", sp.SpanID().String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{inner: h.inner.WithAttrs(attrs), sp: h.sp}
+}
+
+func (h traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{inner: h.inner.WithGroup(name), sp: h.sp}
+}
+
+// defaultLogger holds the process logger; replaced atomically by
+// SetLogWriter so concurrent Log calls never race a reconfigure.
+var defaultLogger atomic.Pointer[slog.Logger]
+
+func init() {
+	defaultLogger.Store(newLogger(os.Stderr, slog.LevelInfo))
+}
+
+func newLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(traceHandler{inner: slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})})
+}
+
+// SetLogWriter redirects the process logger to w at the given level —
+// used by tests and by CLIs steering logs away from stderr. It returns
+// the previous logger so callers can restore it.
+func SetLogWriter(w io.Writer, level slog.Level) *slog.Logger {
+	return defaultLogger.Swap(newLogger(w, level))
+}
+
+// SetLogger installs l as the process logger (restore hook for tests).
+func SetLogger(l *slog.Logger) {
+	if l != nil {
+		defaultLogger.Store(l)
+	}
+}
+
+// logger returns the process logger for package-internal use.
+func logger() *slog.Logger { return defaultLogger.Load() }
+
+// Log returns the process-wide trace-correlated logger. Use the Context
+// emit variants (InfoContext, ErrorContext, ...) with the request
+// context; correlation happens at record time, from that context.
+func Log() *slog.Logger { return logger() }
+
+// Logger returns the process logger pre-bound to ctx's active span, so
+// plain l.Info(...) calls carry trace_id/span_id without threading ctx
+// into every emit site. With no active span it is equivalent to Log().
+func Logger(ctx context.Context) *slog.Logger {
+	sp := FromContext(ctx)
+	if sp == nil {
+		return logger()
+	}
+	h, ok := logger().Handler().(traceHandler)
+	if !ok {
+		// A custom logger installed via SetLogger: fall back to attrs.
+		return logger().With(
+			slog.String("trace_id", sp.TraceID().String()),
+			slog.String("span_id", sp.SpanID().String()),
+		)
+	}
+	return slog.New(traceHandler{inner: h.inner, sp: sp})
+}

@@ -1,0 +1,103 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"computecovid19/internal/obs"
+)
+
+// captureLog redirects the process logger to a buffer for the test.
+func captureLog(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	prev := obs.SetLogWriter(&buf, slog.LevelDebug)
+	t.Cleanup(func() { obs.SetLogger(prev) })
+	return &buf
+}
+
+func TestLogAttachesTraceFromEmitContext(t *testing.T) {
+	defer obs.Reset()
+	obs.Reset()
+	obs.Enable()
+	buf := captureLog(t)
+
+	ctx, sp := obs.StartCtx(context.Background(), "request")
+	obs.Log().InfoContext(ctx, "processing", "job", 7)
+	sp.End()
+
+	line := buf.String()
+	for _, want := range []string{
+		"msg=processing", "job=7",
+		"trace_id=" + sp.TraceID().String(),
+		"span_id=" + sp.SpanID().String(),
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("log line missing %q:\n%s", want, line)
+		}
+	}
+}
+
+func TestLoggerPreBindsSpan(t *testing.T) {
+	defer obs.Reset()
+	obs.Reset()
+	obs.Enable()
+	buf := captureLog(t)
+
+	ctx, sp := obs.StartCtx(context.Background(), "request")
+	defer sp.End()
+	// Plain Info (no context at the emit site) still correlates.
+	obs.Logger(ctx).Info("bound emit")
+	if line := buf.String(); !strings.Contains(line, "trace_id="+sp.TraceID().String()) {
+		t.Fatalf("pre-bound logger missing trace id:\n%s", line)
+	}
+}
+
+func TestLogWithoutSpanHasNoTraceFields(t *testing.T) {
+	buf := captureLog(t)
+	obs.Log().Info("startup")
+	obs.Logger(context.Background()).Info("also unbound")
+	if line := buf.String(); strings.Contains(line, "trace_id") {
+		t.Fatalf("untraced lines must not invent trace ids:\n%s", line)
+	}
+}
+
+func TestLoggerFallsBackForCustomLogger(t *testing.T) {
+	defer obs.Reset()
+	obs.Reset()
+	obs.Enable()
+	var buf bytes.Buffer
+	prev := obs.SetLogWriter(&buf, slog.LevelInfo)
+	t.Cleanup(func() { obs.SetLogger(prev) })
+	// Install a plain logger with no traceHandler wrapper.
+	obs.SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
+
+	ctx, sp := obs.StartCtx(context.Background(), "request")
+	defer sp.End()
+	obs.Logger(ctx).Info("custom handler")
+	if line := buf.String(); !strings.Contains(line, "trace_id="+sp.TraceID().String()) {
+		t.Fatalf("custom-logger fallback lost correlation:\n%s", line)
+	}
+}
+
+func TestLogDerivedLoggersKeepCorrelation(t *testing.T) {
+	defer obs.Reset()
+	obs.Reset()
+	obs.Enable()
+	buf := captureLog(t)
+
+	ctx, sp := obs.StartCtx(context.Background(), "request")
+	defer sp.End()
+	// With / WithGroup derive new handlers; the trace decoration must
+	// survive both.
+	obs.Log().With("worker", 3).WithGroup("serve").InfoContext(ctx, "derived", "k", "v")
+	line := buf.String()
+	for _, want := range []string{"worker=3", "serve.k=v", "trace_id=" + sp.TraceID().String()} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("derived logger missing %q:\n%s", want, line)
+		}
+	}
+}

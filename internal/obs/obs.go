@@ -67,13 +67,14 @@ func traceEpoch() time.Time {
 
 // Reset clears all telemetry state — every metric in the default
 // registry is zeroed in place (handles stay valid and registered), the
-// span buffer and trace epoch are dropped, and span collection is
-// disabled. It is meant for tests.
+// span buffer, flight recorder and trace epoch are dropped, and span
+// collection is disabled. It is meant for tests.
 func Reset() {
 	enabled.Store(false)
 	epoch.mu.Lock()
 	epoch.t = time.Time{}
 	epoch.mu.Unlock()
 	resetTrace()
+	flight.reset()
 	Default.reset()
 }

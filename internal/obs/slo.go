@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLO tracking in the multi-window burn-rate style: each request is
+// judged good or bad against a latency threshold and an error objective,
+// counted into per-second ring buckets, and folded on demand into
+// budget-remaining and burn-rate gauges. A burn rate of 1.0 means the
+// error budget is being consumed exactly as fast as the objective
+// allows; alerting practice pages on a short window burning fast AND a
+// long window confirming it.
+
+// SLOConfig declares the objectives for one endpoint.
+type SLOConfig struct {
+	// Name labels the exported gauges (slo="<name>").
+	Name string
+	// LatencyThreshold is the "good request" latency bound.
+	LatencyThreshold time.Duration
+	// LatencyObjective is the target fraction of requests under the
+	// threshold (e.g. 0.95 → 5% slow budget).
+	LatencyObjective float64
+	// ErrorObjective is the target success fraction (e.g. 0.999).
+	ErrorObjective float64
+	// Window is the error-budget accounting window.
+	Window time.Duration
+	// BurnWindows are the burn-rate measurement windows (each must be
+	// ≤ Window); defaults to {Window/12, Window}.
+	BurnWindows []time.Duration
+	// Now overrides the clock (tests); defaults to time.Now.
+	Now func() time.Time
+}
+
+// sloBucket accumulates one second of outcomes.
+type sloBucket struct {
+	sec   int64 // unix second this bucket covers; 0 = empty
+	total uint64
+	slow  uint64
+	errs  uint64
+}
+
+// SLO tracks outcomes for one endpoint against its objectives.
+type SLO struct {
+	cfg SLOConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets []sloBucket // ring indexed by unix-second % len
+
+	budgetLatency *Gauge
+	budgetErrors  *Gauge
+	burnLatency   []*Gauge
+	burnErrors    []*Gauge
+	good          *Counter
+	slow          *Counter
+	errs          *Counter
+}
+
+// NewSLO builds an SLO tracker and registers its gauges in the default
+// registry. Zero-valued config fields get serving defaults: 2s / 95%
+// latency, 99.9% availability, 1h window.
+func NewSLO(cfg SLOConfig) *SLO {
+	if cfg.Name == "" {
+		cfg.Name = "scan"
+	}
+	if cfg.LatencyThreshold <= 0 {
+		cfg.LatencyThreshold = 2 * time.Second
+	}
+	if cfg.LatencyObjective <= 0 || cfg.LatencyObjective >= 1 {
+		cfg.LatencyObjective = 0.95
+	}
+	if cfg.ErrorObjective <= 0 || cfg.ErrorObjective >= 1 {
+		cfg.ErrorObjective = 0.999
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = time.Hour
+	}
+	if len(cfg.BurnWindows) == 0 {
+		short := cfg.Window / 12
+		if short < time.Second {
+			short = time.Second
+		}
+		cfg.BurnWindows = []time.Duration{short, cfg.Window}
+	}
+	for i, w := range cfg.BurnWindows {
+		if w <= 0 || w > cfg.Window {
+			cfg.BurnWindows[i] = cfg.Window
+		}
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	s := &SLO{
+		cfg:     cfg,
+		now:     now,
+		buckets: make([]sloBucket, int(cfg.Window/time.Second)+1),
+
+		budgetLatency: GetGauge(fmt.Sprintf(`slo_latency_budget_remaining{slo=%q}`, cfg.Name)),
+		budgetErrors:  GetGauge(fmt.Sprintf(`slo_error_budget_remaining{slo=%q}`, cfg.Name)),
+		good:          GetCounter(fmt.Sprintf(`slo_requests_good_total{slo=%q}`, cfg.Name)),
+		slow:          GetCounter(fmt.Sprintf(`slo_requests_slow_total{slo=%q}`, cfg.Name)),
+		errs:          GetCounter(fmt.Sprintf(`slo_requests_error_total{slo=%q}`, cfg.Name)),
+	}
+	for _, w := range cfg.BurnWindows {
+		s.burnLatency = append(s.burnLatency, GetGauge(fmt.Sprintf(`slo_latency_burn_rate{slo=%q,window=%q}`, cfg.Name, w)))
+		s.burnErrors = append(s.burnErrors, GetGauge(fmt.Sprintf(`slo_error_burn_rate{slo=%q,window=%q}`, cfg.Name, w)))
+	}
+	// A fresh tracker has consumed nothing.
+	s.budgetLatency.Set(1)
+	s.budgetErrors.Set(1)
+	return s
+}
+
+// Observe records one finished request: its latency and whether it
+// failed. Errors count against the availability objective only; the
+// latency objective is judged on non-error requests.
+func (s *SLO) Observe(latency time.Duration, isError bool) {
+	sec := s.now().Unix()
+	s.mu.Lock()
+	b := &s.buckets[int(sec%int64(len(s.buckets)))]
+	if b.sec != sec {
+		*b = sloBucket{sec: sec}
+	}
+	b.total++
+	switch {
+	case isError:
+		b.errs++
+		s.errs.Inc()
+	case latency > s.cfg.LatencyThreshold:
+		b.slow++
+		s.slow.Inc()
+	default:
+		s.good.Inc()
+	}
+	s.mu.Unlock()
+}
+
+// windowSums folds the ring over the trailing window ending at sec.
+func (s *SLO) windowSums(sec int64, w time.Duration) (total, slow, errs uint64) {
+	lo := sec - int64(w/time.Second) + 1
+	if span := int64(len(s.buckets)); sec-lo+1 > span {
+		lo = sec - span + 1
+	}
+	for t := lo; t <= sec; t++ {
+		if b := &s.buckets[int(t%int64(len(s.buckets)))]; b.sec == t {
+			total += b.total
+			slow += b.slow
+			errs += b.errs
+		}
+	}
+	return
+}
+
+// burnRate converts a bad fraction into budget-consumption speed.
+func burnRate(bad, total uint64, objective float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - objective)
+}
+
+// budgetRemaining is the unconsumed fraction of the window's error
+// budget (clamped at 0; an untouched budget is 1).
+func budgetRemaining(bad, total uint64, objective float64) float64 {
+	if total == 0 {
+		return 1
+	}
+	allowed := float64(total) * (1 - objective)
+	rem := 1 - float64(bad)/allowed
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Export recomputes and publishes the budget and burn-rate gauges. The
+// serve /metrics handler calls it before rendering, so the registry
+// stays passive between scrapes.
+func (s *SLO) Export() {
+	sec := s.now().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total, slow, errs := s.windowSums(sec, s.cfg.Window)
+	// Latency objective judged over non-error requests.
+	s.budgetLatency.Set(budgetRemaining(slow, total-errs, s.cfg.LatencyObjective))
+	s.budgetErrors.Set(budgetRemaining(errs, total, s.cfg.ErrorObjective))
+	for i, w := range s.cfg.BurnWindows {
+		wt, ws, we := s.windowSums(sec, w)
+		s.burnLatency[i].Set(burnRate(ws, wt-we, s.cfg.LatencyObjective))
+		s.burnErrors[i].Set(burnRate(we, wt, s.cfg.ErrorObjective))
+	}
+}
+
+// Config returns the resolved configuration (defaults applied).
+func (s *SLO) Config() SLOConfig { return s.cfg }

@@ -1,0 +1,151 @@
+package obs_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"computecovid19/internal/obs"
+)
+
+// fakeClock is an injectable SLO clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func gauge(name, slo string, extra ...string) *obs.Gauge {
+	labels := fmt.Sprintf("slo=%q", slo)
+	for _, e := range extra {
+		labels += "," + e
+	}
+	return obs.GetGauge(name + "{" + labels + "}")
+}
+
+func approx(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func TestSLODefaults(t *testing.T) {
+	defer obs.Reset()
+	cfg := obs.NewSLO(obs.SLOConfig{}).Config()
+	if cfg.Name != "scan" || cfg.LatencyThreshold != 2*time.Second ||
+		cfg.LatencyObjective != 0.95 || cfg.ErrorObjective != 0.999 || cfg.Window != time.Hour {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if len(cfg.BurnWindows) != 2 || cfg.BurnWindows[0] != 5*time.Minute || cfg.BurnWindows[1] != time.Hour {
+		t.Fatalf("default burn windows wrong: %v", cfg.BurnWindows)
+	}
+	// An untouched budget is whole.
+	approx(t, "fresh latency budget", gauge("slo_latency_budget_remaining", "scan").Value(), 1)
+	approx(t, "fresh error budget", gauge("slo_error_budget_remaining", "scan").Value(), 1)
+}
+
+func TestSLOBudgetAndBurnMath(t *testing.T) {
+	defer obs.Reset()
+	clock := newFakeClock()
+	s := obs.NewSLO(obs.SLOConfig{
+		Name:             "t",
+		LatencyThreshold: 100 * time.Millisecond,
+		LatencyObjective: 0.8,
+		ErrorObjective:   0.9,
+		Window:           time.Minute,
+		BurnWindows:      []time.Duration{10 * time.Second, time.Minute},
+		Now:              clock.now,
+	})
+
+	// t0: one error and four good requests.
+	s.Observe(10*time.Millisecond, true)
+	for i := 0; i < 4; i++ {
+		s.Observe(10*time.Millisecond, false)
+	}
+	// t0+30s: two slow and thirteen good requests.
+	clock.advance(30 * time.Second)
+	for i := 0; i < 2; i++ {
+		s.Observe(500*time.Millisecond, false)
+	}
+	for i := 0; i < 13; i++ {
+		s.Observe(10*time.Millisecond, false)
+	}
+	s.Export()
+
+	// Full window: 20 requests, 2 slow, 1 error.
+	// Latency budget over the 19 non-errors: allowed 19*0.2, spent 2.
+	approx(t, "latency budget", gauge("slo_latency_budget_remaining", "t").Value(), 1-2/(19*0.2))
+	// Error budget: allowed 20*0.1, spent 1.
+	approx(t, "error budget", gauge("slo_error_budget_remaining", "t").Value(), 0.5)
+	// Long-window burn rates.
+	approx(t, "latency burn 1m", gauge("slo_latency_burn_rate", "t", `window="1m0s"`).Value(), (2.0/19)/0.2)
+	approx(t, "error burn 1m", gauge("slo_error_burn_rate", "t", `window="1m0s"`).Value(), (1.0/20)/0.1)
+	// Short window sees only the recent second: 15 requests, 2 slow, 0 errors.
+	approx(t, "latency burn 10s", gauge("slo_latency_burn_rate", "t", `window="10s"`).Value(), (2.0/15)/0.2)
+	approx(t, "error burn 10s", gauge("slo_error_burn_rate", "t", `window="10s"`).Value(), 0)
+
+	if g, sl, e := obs.GetCounter(`slo_requests_good_total{slo="t"}`).Value(),
+		obs.GetCounter(`slo_requests_slow_total{slo="t"}`).Value(),
+		obs.GetCounter(`slo_requests_error_total{slo="t"}`).Value(); g != 17 || sl != 2 || e != 1 {
+		t.Fatalf("outcome counters = good %d, slow %d, error %d", g, sl, e)
+	}
+}
+
+func TestSLOBudgetExhaustsAndClamps(t *testing.T) {
+	defer obs.Reset()
+	clock := newFakeClock()
+	s := obs.NewSLO(obs.SLOConfig{
+		Name: "x", LatencyThreshold: time.Millisecond, LatencyObjective: 0.9,
+		ErrorObjective: 0.9, Window: time.Minute, Now: clock.now,
+	})
+	for i := 0; i < 10; i++ {
+		s.Observe(time.Second, i%2 == 0) // half errors, the rest slow
+	}
+	s.Export()
+	// Overspent budgets clamp at zero instead of going negative.
+	approx(t, "latency budget", gauge("slo_latency_budget_remaining", "x").Value(), 0)
+	approx(t, "error budget", gauge("slo_error_budget_remaining", "x").Value(), 0)
+}
+
+func TestSLOWindowExpires(t *testing.T) {
+	defer obs.Reset()
+	clock := newFakeClock()
+	s := obs.NewSLO(obs.SLOConfig{
+		Name: "w", LatencyThreshold: time.Millisecond, LatencyObjective: 0.9,
+		ErrorObjective: 0.9, Window: 30 * time.Second, Now: clock.now,
+	})
+	s.Observe(time.Second, true)
+	s.Export()
+	if gauge("slo_error_budget_remaining", "w").Value() != 0 {
+		t.Fatal("single error against a tiny window must drain the budget")
+	}
+	// Once the bad second leaves the window the budget recovers fully.
+	clock.advance(2 * time.Minute)
+	s.Export()
+	approx(t, "recovered error budget", gauge("slo_error_budget_remaining", "w").Value(), 1)
+	approx(t, "recovered burn", gauge("slo_error_burn_rate", "w", `window="30s"`).Value(), 0)
+}
+
+func TestSLOGaugesReachPrometheusOutput(t *testing.T) {
+	defer obs.Reset()
+	clock := newFakeClock()
+	s := obs.NewSLO(obs.SLOConfig{Name: "p", Now: clock.now})
+	s.Observe(10*time.Millisecond, false)
+	s.Export()
+	var sb strings.Builder
+	if err := obs.Default.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`slo_latency_budget_remaining{slo="p"} 1`,
+		`slo_error_budget_remaining{slo="p"} 1`,
+		`slo_requests_good_total{slo="p"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

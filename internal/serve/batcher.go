@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"time"
 
 	"computecovid19/internal/ddnet"
@@ -28,10 +29,14 @@ type batcher struct {
 }
 
 // enhReq is one slice awaiting enhancement. out is buffered (capacity
-// one), so the batcher never blocks delivering a result.
+// one), so the batcher never blocks delivering a result. sc is the
+// submitting scan's enhance-span identity (zero when tracing is off);
+// the batch span links it, tying the batch trace back to the request
+// traces it serves.
 type enhReq struct {
 	img *tensor.Tensor
 	out chan *tensor.Tensor
+	sc  obs.SpanContext
 }
 
 func newBatcher(net *ddnet.DDnet, size int, timeout time.Duration) *batcher {
@@ -49,9 +54,9 @@ func newBatcher(net *ddnet.DDnet, size int, timeout time.Duration) *batcher {
 // submit queues one normalized (H, W) slice and returns the channel its
 // enhanced slice will arrive on. Callers submit all their slices before
 // receiving any result, so slices from one scan can fill a batch.
-func (b *batcher) submit(img *tensor.Tensor) chan *tensor.Tensor {
+func (b *batcher) submit(img *tensor.Tensor, sc obs.SpanContext) chan *tensor.Tensor {
 	out := make(chan *tensor.Tensor, 1)
-	b.reqs <- enhReq{img: img, out: out}
+	b.reqs <- enhReq{img: img, out: out, sc: sc}
 	return out
 }
 
@@ -69,14 +74,28 @@ func (b *batcher) run() {
 		if len(pending) == 0 {
 			return
 		}
+		// The batch span roots its own trace — it serves many requests,
+		// so it belongs to none of their traces. Each distinct request
+		// trace is attached as a link instead (rendered as a flow arrow
+		// in the Chrome exporter).
 		sp := obs.Start("serve/enhance_batch")
 		sp.SetAttr("batch", len(pending))
+		if sp != nil {
+			seen := make(map[obs.SpanContext]bool, len(pending))
+			for _, r := range pending {
+				if !r.sc.IsZero() && !seen[r.sc] {
+					seen[r.sc] = true
+					sp.Link(r.sc)
+				}
+			}
+			sp.SetAttr("scans", len(seen))
+		}
 		start := time.Now()
 		imgs := make([]*tensor.Tensor, len(pending))
 		for i, r := range pending {
 			imgs[i] = r.img
 		}
-		outs := b.net.EnhanceBatch(imgs)
+		outs := b.net.EnhanceBatchCtx(obs.ContextWithSpan(context.Background(), sp), imgs)
 		enhanceBatchSeconds.Observe(time.Since(start).Seconds())
 		batchSizeHist.Observe(float64(len(pending)))
 		for i, r := range pending {

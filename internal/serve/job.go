@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
+	"computecovid19/internal/obs"
 	"computecovid19/internal/volume"
 )
 
@@ -21,13 +23,22 @@ const (
 )
 
 // job is one accepted scan request. All mutable fields are guarded by
-// the owning store's mutex.
+// the owning store's mutex. The trace fields are written once in
+// handleSubmit before the job is enqueued and read by the worker: ctx
+// detaches the request's trace from the HTTP request context (so
+// processing survives client disconnects), span is the request root
+// (ended last, completing the trace in the flight recorder), qspan
+// covers the admission-queue wait.
 type job struct {
 	id        string
 	vol       *volume.Volume
 	key       string
 	submitted time.Time
 	deadline  time.Time
+
+	ctx   context.Context
+	span  *obs.Span
+	qspan *obs.Span
 
 	state    State
 	cached   bool

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"computecovid19/internal/core"
+	"computecovid19/internal/kernels"
 	"computecovid19/internal/obs"
 	"computecovid19/internal/volume"
 )
@@ -73,6 +74,13 @@ type Config struct {
 	// custom models plug into. When set, Pipeline may be nil and
 	// micro-batching is bypassed.
 	Process func(v *volume.Volume) core.Result
+	// SLO configures the /v1/scan latency and availability objectives
+	// (zero fields pick obs.NewSLO's serving defaults). Budget-remaining
+	// and burn-rate gauges are recomputed on every /metrics scrape.
+	SLO obs.SLOConfig
+	// FlightDir, when set, receives flight-recorder dumps for
+	// deadline-exceeded requests and 5xx responses; empty disables dumps.
+	FlightDir string
 }
 
 // ScanResult is the diagnostic outcome returned to clients and stored
@@ -88,6 +96,7 @@ type Server struct {
 	store   *store
 	cache   *resultCache
 	batcher *batcher
+	slo     *obs.SLO
 
 	queue chan *job
 	gate  sync.RWMutex // guards queue close vs. admission sends
@@ -131,7 +140,9 @@ func New(cfg Config) (*Server, error) {
 		store: newStore(),
 		cache: newResultCache(cfg.CacheSize),
 		queue: make(chan *job, cfg.QueueDepth),
+		slo:   obs.NewSLO(cfg.SLO),
 	}
+	obs.NewBuildInfo(kernels.Names()).Register()
 	if cfg.Pipeline != nil {
 		cfg.Pipeline.Warm()
 		if cfg.Process == nil && cfg.Pipeline.Enhancer != nil {
@@ -223,6 +234,7 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		s.slo.Export()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		obs.Default.WritePrometheus(w)
 	})
@@ -230,26 +242,59 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The request root span ("serve/request") covers the scan end to
+	// end — it outlives this handler and is ended by the worker at the
+	// job's terminal state. The "serve/http" child covers only the
+	// submit round-trip. An inbound traceparent header continues the
+	// caller's trace; the response header carries ours either way.
+	ctx := r.Context()
+	if sc, ok := obs.ParseTraceparent(r.Header.Get("Traceparent")); ok {
+		ctx = obs.ContextWithRemote(ctx, sc)
+	}
+	ctx, reqSp := obs.StartCtx(ctx, "serve/request")
+	if tp := reqSp.Traceparent(); tp != "" {
+		w.Header().Set("Traceparent", tp)
+	}
+	_, hsp := obs.StartCtx(ctx, "serve/http")
+	start := time.Now()
+	// endHere terminates the trace at the HTTP layer (non-admitted
+	// outcomes); 5xx responses dump the just-completed trace.
+	endHere := func(code int) {
+		hsp.End()
+		reqSp.End()
+		if code >= 500 {
+			s.slo.Observe(time.Since(start), true)
+			if s.cfg.FlightDir != "" {
+				obs.DumpFlightTrace(s.cfg.FlightDir, reqSp.TraceID(), fmt.Sprintf("http %d", code))
+			}
+		}
+	}
+
 	if s.Draining() {
 		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		endHere(http.StatusServiceUnavailable)
 		return
 	}
 	var req ScanRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad json: %v", err)
+		endHere(http.StatusBadRequest)
 		return
 	}
 	if req.D <= 0 || req.H <= 0 || req.W <= 0 {
 		httpError(w, http.StatusBadRequest, "dimensions must be positive, got %dx%dx%d", req.D, req.H, req.W)
+		endHere(http.StatusBadRequest)
 		return
 	}
 	voxels := req.D * req.H * req.W
 	if voxels > s.cfg.MaxVoxels {
 		httpError(w, http.StatusRequestEntityTooLarge, "volume has %d voxels, limit %d", voxels, s.cfg.MaxVoxels)
+		endHere(http.StatusRequestEntityTooLarge)
 		return
 	}
 	if len(req.Data) != voxels {
 		httpError(w, http.StatusBadRequest, "data has %d values, want %d", len(req.Data), voxels)
+		endHere(http.StatusBadRequest)
 		return
 	}
 
@@ -260,6 +305,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j := s.store.newJob(vol, key, time.Time{})
 		s.store.finishCached(j, res)
 		writeJSON(w, http.StatusOK, s.store.view(j))
+		endHere(http.StatusOK)
+		s.slo.Observe(time.Since(start), false)
 		return
 	}
 	cacheMisses.Inc()
@@ -272,12 +319,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		deadline = time.Now().Add(s.cfg.DefaultDeadline)
 	}
 	j := s.store.newJob(vol, key, deadline)
+	// Detach the trace from the HTTP context: processing must survive
+	// the client hanging up on the 202. The queue span is opened before
+	// the enqueue so the worker can never dequeue a job without one.
+	j.ctx = obs.ContextWithSpan(context.Background(), reqSp)
+	j.span = reqSp
+	_, j.qspan = obs.StartCtx(j.ctx, "serve/queue")
 
 	s.gate.RLock()
 	if s.shut {
 		s.gate.RUnlock()
 		s.store.drop(j)
 		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		j.qspan.End()
+		endHere(http.StatusServiceUnavailable)
 		return
 	}
 	admitted := false
@@ -293,11 +348,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		rejectedTotal.Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "admission queue full (%d deep)", s.cfg.QueueDepth)
+		j.qspan.End()
+		endHere(http.StatusTooManyRequests)
 		return
 	}
 	admittedTotal.Inc()
 	queueDepth.Add(1)
 	writeJSON(w, http.StatusAccepted, s.store.view(j))
+	hsp.End()
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,7 +15,7 @@ import (
 // runs the diagnostic pipeline on them. All workers share the warm
 // pipeline's weights (read-only after Pipeline.Warm); enhancement routes
 // through the micro-batcher, segmentation + classification run in the
-// worker itself via core.Pipeline.Classify.
+// worker itself via core.Pipeline.ClassifyCtx.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
@@ -24,18 +25,24 @@ func (s *Server) worker() {
 }
 
 func (s *Server) process(j *job) {
-	sp := obs.Start("serve/process")
-	defer sp.End()
+	// The queue span ends at dequeue: its duration is the admission
+	// wait. The process span covers this worker's share of the request.
+	j.qspan.End()
+	ctx := j.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, sp := obs.StartCtx(ctx, "serve/process")
 	s.store.setRunning(j)
 
 	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
 		deadlinesTotal.Inc()
-		s.store.fail(j, "deadline exceeded before processing began")
+		s.failJob(ctx, j, sp, "deadline exceeded before processing began", "deadline")
 		return
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			s.store.fail(j, fmt.Sprintf("pipeline panic: %v", r))
+			s.failJob(ctx, j, sp, fmt.Sprintf("pipeline panic: %v", r), "panic")
 		}
 	}()
 
@@ -44,30 +51,58 @@ func (s *Server) process(j *job) {
 		r := s.cfg.Process(j.vol)
 		res = ScanResult{Probability: r.Probability, Positive: r.Positive}
 	} else {
-		enhanced := s.enhanceVolume(j.vol)
-		r := s.cfg.Pipeline.Classify(enhanced)
+		enhanced := s.enhanceVolume(ctx, j.vol)
+		r := s.cfg.Pipeline.ClassifyCtx(ctx, enhanced)
 		res = ScanResult{Probability: r.Probability, Positive: r.Positive}
 	}
 
 	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
 		deadlinesTotal.Inc()
-		s.store.fail(j, "deadline exceeded during processing")
+		s.failJob(ctx, j, sp, "deadline exceeded during processing", "deadline")
 		return
 	}
 	s.cache.put(j.key, res)
 	s.store.finish(j, res)
 	requestSeconds.Observe(time.Since(j.submitted).Seconds())
+	s.endJobTrace(j, sp, false, "")
+}
+
+// failJob records a terminal failure: store state, a trace-correlated
+// log line, the SLO error, and (for deadline/panic failures) a
+// flight-recorder dump of the just-completed trace.
+func (s *Server) failJob(ctx context.Context, j *job, sp *obs.Span, msg, reason string) {
+	s.store.fail(j, msg)
+	obs.Logger(ctx).Error("scan failed", "job", j.id, "reason", reason, "err", msg)
+	s.endJobTrace(j, sp, true, reason)
+}
+
+// endJobTrace closes the request's remaining spans — the process span,
+// then the request root LAST, so the flight recorder sees the trace
+// complete exactly once — and feeds the SLO tracker.
+func (s *Server) endJobTrace(j *job, sp *obs.Span, failed bool, reason string) {
+	sp.End()
+	j.span.End()
+	s.slo.Observe(time.Since(j.submitted), failed)
+	if failed && s.cfg.FlightDir != "" {
+		obs.DumpFlightTrace(s.cfg.FlightDir, j.span.TraceID(), reason)
+	}
 }
 
 // enhanceVolume runs Enhancement AI over an HU volume through the
 // micro-batcher: all D slices are submitted up front (so one scan can
-// fill a batch by itself) and collected in order. Without an enhancer
-// the input volume passes through unchanged, matching
+// fill a batch by itself) and collected in order. Every slice carries
+// the scan's enhance-span identity, which the batch span links — the
+// fan-in edge connecting N request traces to one batch trace. Without
+// an enhancer the input volume passes through unchanged, matching
 // core.Pipeline.Enhance semantics.
-func (s *Server) enhanceVolume(v *volume.Volume) *volume.Volume {
+func (s *Server) enhanceVolume(ctx context.Context, v *volume.Volume) *volume.Volume {
 	if s.batcher == nil {
 		return v
 	}
+	_, esp := obs.StartCtx(ctx, "serve/enhance")
+	defer esp.End()
+	esp.SetAttr("slices", v.D)
+	sc := esp.Context()
 	p := s.cfg.Pipeline
 	outs := make([]chan *tensor.Tensor, v.D)
 	for z := 0; z < v.D; z++ {
@@ -76,7 +111,7 @@ func (s *Server) enhanceVolume(v *volume.Volume) *volume.Volume {
 		for i, hu := range sl {
 			img.Data[i] = float32(ctsim.NormalizeHU(float64(hu), p.WindowLo, p.WindowHi))
 		}
-		outs[z] = s.batcher.submit(img)
+		outs[z] = s.batcher.submit(img, sc)
 	}
 	out := volume.New(v.D, v.H, v.W)
 	for z := 0; z < v.D; z++ {
