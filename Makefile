@@ -5,7 +5,7 @@ GO ?= go
 BENCHTIME ?=
 BENCHFLAGS = -bench . -benchmem -run '^$$' $(if $(BENCHTIME),-benchtime=$(BENCHTIME))
 
-.PHONY: build test race vet fmt lint lint-tools chaos cover bench benchcheck ci clean
+.PHONY: build test race vet fmt lint lint-tools chaos cluster-chaos cover bench benchcheck ci clean
 
 # Pinned static-analysis tool versions; `make lint-tools` installs them
 # (CI does this — it needs network, so it is not part of `make lint`).
@@ -24,10 +24,10 @@ test:
 
 # Race-check the concurrency-heavy packages: the obs metric registry
 # and span buffer, the parallel-for pool, the kernel-registry tiling,
-# the DDP trainer, and the inference server (worker pool +
-# micro-batcher + admission control).
+# the DDP trainer, the inference server (worker pool + micro-batcher +
+# admission control), and the cluster gateway (router, hedges, prober).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/parallel/... ./internal/kernels/... ./internal/distrib/... ./internal/serve/...
+	$(GO) test -race ./internal/obs/... ./internal/parallel/... ./internal/kernels/... ./internal/distrib/... ./internal/serve/... ./internal/cluster/...
 
 vet:
 	$(GO) vet ./...
@@ -64,6 +64,12 @@ lint-tools:
 chaos:
 	$(GO) test ./internal/distrib/... -run Fault -count=2 -race
 
+# Cluster chaos: the replica-kill-mid-load test (3 replicas behind the
+# gateway, one killed and restarted, zero client-visible failures)
+# under the race detector — the CI cluster job runs exactly this.
+cluster-chaos:
+	$(GO) test ./internal/cluster/ -run Chaos -count=2 -race -v
+
 # Coverage gate: profile internal/distrib and fail below
 # DISTRIB_MIN_COVER percent covered statements.
 cover:
@@ -71,9 +77,9 @@ cover:
 	./scripts/covcheck.sh coverage-distrib.out $(DISTRIB_MIN_COVER)
 
 # The full gate CI runs: build, lint, the whole test suite, the
-# race-detector pass over the concurrent packages, the chaos suite, and
-# the distrib coverage gate.
-ci: build lint test race chaos cover
+# race-detector pass over the concurrent packages, both chaos suites,
+# and the distrib coverage gate.
+ci: build lint test race chaos cluster-chaos cover
 
 # Disabled-telemetry overhead (must stay in the single-digit ns/op
 # range), the parallel-for overhead benchmark, and the kernel

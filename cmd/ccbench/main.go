@@ -35,6 +35,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	serveOut := flag.String("serveout", "", "write the serving benchmark's machine-readable report here (BENCH_serve.json)")
 	kernelsOut := flag.String("kernelsout", "", "write the kernel ladder benchmark's machine-readable report here (BENCH_kernels.json)")
+	clusterOut := flag.String("clusterout", "", "write the cluster benchmark's machine-readable report here (BENCH_cluster.json)")
 	flag.Parse()
 
 	log := obs.Log()
@@ -100,6 +101,7 @@ func main() {
 		{"dimensionality", func() string { return experiments.Dimensionality(cfg) }},
 		{"serve", func() string { return experiments.ServeBench(cfg, *serveOut) }},
 		{"kernels", func() string { return experiments.KernelsBench(cfg, *kernelsOut) }},
+		{"cluster", func() string { return experiments.ClusterBench(cfg, *clusterOut) }},
 	}
 	for _, it := range items {
 		if !sel(it.name) {

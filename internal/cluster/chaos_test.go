@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"computecovid19/internal/serve"
+	"computecovid19/internal/volume"
+)
+
+// chaosReplica is a ccserve instance on a real loopback listener that
+// can be killed abruptly and restarted on the same address — the
+// restartable unit the chaos test yanks out from under the gateway.
+type chaosReplica struct {
+	addr string
+	s    *serve.Server
+	srv  *http.Server
+	errc chan error
+}
+
+func startChaosReplica(t *testing.T, addr string) *chaosReplica {
+	t.Helper()
+	s, err := serve.New(serve.Config{
+		Workers: 2, QueueDepth: 64, CacheSize: -1,
+		Process: stubProcess(5 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	// A just-killed replica's port can linger briefly; retry the bind.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("listen %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	r := &chaosReplica{
+		addr: ln.Addr().String(),
+		s:    s,
+		srv:  &http.Server{Handler: s.Handler()},
+		errc: make(chan error, 1),
+	}
+	go func() { r.errc <- r.srv.Serve(ln) }()
+	return r
+}
+
+// kill closes the listener and every open connection — a crash, not a
+// drain. In-flight scans at this replica die with it.
+func (r *chaosReplica) kill(t *testing.T) {
+	t.Helper()
+	r.srv.Close()
+	<-r.errc
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	r.s.Drain(ctx) // stop the orphaned worker pool
+}
+
+func (r *chaosReplica) url() string { return "http://" + r.addr }
+
+// TestChaosReplicaKillMidLoad is the chaos acceptance test: three
+// replicas behind the gateway, one killed abruptly mid-load and later
+// restarted on the same address. The client side must see zero failed
+// requests — the gateway absorbs the crash with retries/hedges and the
+// health loop ejects the corpse — and the restarted replica must be
+// readmitted and take traffic again.
+func TestChaosReplicaKillMidLoad(t *testing.T) {
+	reps := []*chaosReplica{
+		startChaosReplica(t, ""),
+		startChaosReplica(t, ""),
+		startChaosReplica(t, ""),
+	}
+	urls := []string{reps[0].url(), reps[1].url(), reps[2].url()}
+	ejectionsBefore := ejectionsTotal.Value()
+	readmitsBefore := readmitsTotal.Value()
+
+	g, err := New(Config{
+		Replicas:       urls,
+		HealthInterval: 20 * time.Millisecond,
+		HealthTimeout:  500 * time.Millisecond,
+		EjectAfter:     2,
+		ReadmitAfter:   2,
+		MaxRetries:     4,
+		HedgeDelayMax:  250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	gwSrv := startChaosGateway(t, g)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := g.Drain(ctx); err != nil {
+			t.Errorf("gateway drain: %v", err)
+		}
+		for _, r := range reps {
+			r.s.Drain(ctx)
+			r.srv.Close()
+		}
+	}()
+
+	var victim ReplicaStatus
+	for _, rs := range g.Snapshot() {
+		if rs.URL == reps[1].url() {
+			victim = rs
+		}
+	}
+	if victim.Name == "" {
+		t.Fatal("victim replica missing from the snapshot")
+	}
+	sumServed := func() uint64 {
+		var n uint64
+		for _, rs := range g.Snapshot() {
+			n += rs.Served
+		}
+		return n
+	}
+	waitServed := func(min uint64) {
+		t.Helper()
+		for deadline := time.Now().Add(60 * time.Second); sumServed() < min; {
+			if time.Now().After(deadline) {
+				t.Fatalf("cluster stuck at %d served scans, want %d", sumServed(), min)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitVictimState := func(want string) {
+		t.Helper()
+		for deadline := time.Now().Add(15 * time.Second); ; {
+			if st := g.replicaByName(victim.Name).status(); st.State == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %s never became %s: %+v",
+					victim.Name, want, g.replicaByName(victim.Name).status())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	const requests = 400
+	loadDone := make(chan serve.LoadReport, 1)
+	go func() {
+		rep, err := serve.RunLoadURLs([]string{gwSrv}, serve.LoadOptions{
+			Requests:    requests,
+			Concurrency: 8,
+			Volumes:     chaosVolumes(4),
+			Perturb:     true,
+			Seed:        7,
+		})
+		if err != nil {
+			t.Errorf("load: %v", err)
+		}
+		loadDone <- rep
+	}()
+
+	// Let traffic reach steady state, then yank a replica out.
+	waitServed(50)
+	reps[1].kill(t)
+	waitVictimState("ejected")
+
+	// Traffic keeps flowing on the survivors while the victim is down.
+	killedAt := sumServed()
+	waitServed(killedAt + 100)
+
+	// Restart on the same address: the half-open prober readmits it.
+	reps[1] = startChaosReplica(t, reps[1].addr)
+	waitVictimState("healthy")
+
+	rep := <-loadDone
+	if rep.Failed != 0 {
+		t.Fatalf("client saw %d failed scans through the crash, want 0 (report %+v)", rep.Failed, rep)
+	}
+	if rep.Completed != requests {
+		t.Fatalf("completed %d of %d scans", rep.Completed, requests)
+	}
+	if got := ejectionsTotal.Value() - ejectionsBefore; got == 0 {
+		t.Fatal("the crash never ejected the replica")
+	}
+	if got := readmitsTotal.Value() - readmitsBefore; got == 0 {
+		t.Fatal("the restart never readmitted the replica")
+	}
+
+	// The readmitted replica takes traffic again.
+	// Distinct volumes: affinity would pin one repeated body to a single
+	// owner, never exercising the restarted replica.
+	extra := uniqueVolumes(200)
+	servedAtRestart := g.replicaByName(victim.Name).status().Served
+	for i := 0; i < len(extra); i++ {
+		resp, view := postScan(t, gwSrv, scanBody(t, extra[i]))
+		if resp.StatusCode != http.StatusOK || view.State != serve.StateDone {
+			t.Fatalf("post-restart scan %d: status %d view %+v", i, resp.StatusCode, view)
+		}
+		if g.replicaByName(victim.Name).status().Served > servedAtRestart {
+			return
+		}
+	}
+	t.Fatal("restarted replica never served a scan again")
+}
+
+// startChaosGateway serves a started Gateway on a real listener and
+// returns its base URL (shutdown is the caller's drain + this cleanup).
+func startChaosGateway(t *testing.T, g *Gateway) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: g.Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + ln.Addr().String()
+}
+
+// chaosVolumes builds n distinct small volumes sized so scans are quick
+// but non-trivial.
+func chaosVolumes(n int) []*volume.Volume {
+	vols := make([]*volume.Volume, n)
+	for i := range vols {
+		v := volume.New(2, 8, 8)
+		for j := range v.Data {
+			v.Data[j] = float32((i + 1) * (j + 1) % 97)
+		}
+		vols[i] = v
+	}
+	return vols
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"computecovid19/internal/obs"
+)
+
+// Active health checking: a single loop probes every replica's /readyz
+// each HealthInterval. A replica answering anything but 200 — including
+// the 503 a draining ccserve returns from the moment SIGTERM lands — is
+// ejected after EjectAfter consecutive failures. Ejected replicas keep
+// being probed (half-open): ReadmitAfter consecutive successes bring
+// them back, so a restarted or drained-and-redeployed replica rejoins
+// without operator action. Routed attempts feed the same state machine
+// through noteObservation, so a replica that dies between probes is
+// ejected at wire speed rather than waiting out the probe cycle.
+
+func (g *Gateway) healthLoop() {
+	t := time.NewTicker(g.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stopc:
+			return
+		case <-t.C:
+			g.checkAll()
+		}
+	}
+}
+
+// checkAll probes the replicas concurrently, so one hung backend cannot
+// stall detection on the rest.
+func (g *Gateway) checkAll() {
+	var wg sync.WaitGroup
+	for _, r := range g.snapshotReplicas() {
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			g.noteObservation(r, g.probe(r))
+		}(r)
+	}
+	wg.Wait()
+}
+
+// probe performs one readiness check against a replica.
+func (g *Gateway) probe(r *replica) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// noteObservation advances a replica's health state machine and records
+// and logs the transitions it causes.
+func (g *Gateway) noteObservation(r *replica, ok bool) {
+	ejected, readmitted := r.noteProbe(ok, g.cfg.EjectAfter, g.cfg.ReadmitAfter)
+	if ejected {
+		ejectionsTotal.Inc()
+		obs.Log().Warn("cluster: replica ejected", "replica", r.name, "url", r.url)
+	}
+	if readmitted {
+		readmitsTotal.Inc()
+		obs.Log().Info("cluster: replica readmitted", "replica", r.name, "url", r.url)
+	}
+}

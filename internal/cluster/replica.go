@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"computecovid19/internal/obs"
+)
+
+// replicaState is a replica's position in the health state machine.
+// Healthy replicas take traffic; ejected replicas take none but keep
+// being probed (the half-open state), and return to healthy after
+// ReadmitAfter consecutive successful probes.
+type replicaState int32
+
+const (
+	stateHealthy replicaState = iota
+	stateEjected
+)
+
+func (s replicaState) String() string {
+	if s == stateEjected {
+		return "ejected"
+	}
+	return "healthy"
+}
+
+// replica is one ccserve backend as the gateway sees it. Routing reads
+// (inflight, EWMA latency, state) are lock-free atomics on the hot
+// path; the ejection state machine counters are guarded by hmu because
+// the health loop and attempt-failure reporting both feed them.
+type replica struct {
+	name   string // stable gateway-scoped id ("r0", "r1", ...)
+	url    string
+	client *http.Client
+
+	inflight atomic.Int64
+	served   atomic.Uint64
+	state    atomic.Int32
+	ewmaBits atomic.Uint64 // EWMA of successful attempt latency, float64 seconds
+
+	hmu         sync.Mutex
+	consecFails int
+	consecOK    int
+
+	inflightGauge *obs.Gauge
+}
+
+func newReplica(name, url string) *replica {
+	return &replica{
+		name:          name,
+		url:           url,
+		client:        &http.Client{},
+		inflightGauge: obs.GetGauge(fmt.Sprintf("cluster_inflight{replica=%q}", name)),
+	}
+}
+
+func (r *replica) healthy() bool {
+	return replicaState(r.state.Load()) == stateHealthy
+}
+
+// acquire/release bracket one attempt; the inflight count is what
+// power-of-two-choices and the affinity overload guard read.
+func (r *replica) acquire() { r.inflightGauge.Set(float64(r.inflight.Add(1))) }
+func (r *replica) release() { r.inflightGauge.Set(float64(r.inflight.Add(-1))) }
+
+// ewma returns the smoothed attempt latency in seconds (0 = no data).
+func (r *replica) ewma() float64 {
+	return math.Float64frombits(r.ewmaBits.Load())
+}
+
+// observeLatency folds one successful attempt into the EWMA
+// (alpha 0.2: a few recent scans dominate, one outlier does not).
+func (r *replica) observeLatency(d time.Duration) {
+	s := d.Seconds()
+	for {
+		old := r.ewmaBits.Load()
+		next := s
+		if cur := math.Float64frombits(old); cur > 0 {
+			next = 0.8*cur + 0.2*s
+		}
+		if r.ewmaBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// noteProbe folds one health observation — an active /readyz probe or a
+// routed attempt's transport outcome — into the ejection state machine
+// and reports which transition, if any, it caused.
+func (r *replica) noteProbe(ok bool, ejectAfter, readmitAfter int) (ejected, readmitted bool) {
+	r.hmu.Lock()
+	defer r.hmu.Unlock()
+	st := replicaState(r.state.Load())
+	if ok {
+		r.consecFails = 0
+		if st == stateEjected {
+			r.consecOK++
+			if r.consecOK >= readmitAfter {
+				r.consecOK = 0
+				r.state.Store(int32(stateHealthy))
+				return false, true
+			}
+		}
+		return false, false
+	}
+	r.consecOK = 0
+	if st == stateHealthy {
+		r.consecFails++
+		if r.consecFails >= ejectAfter {
+			r.consecFails = 0
+			r.state.Store(int32(stateEjected))
+			return true, false
+		}
+	}
+	return false, false
+}
+
+// ReplicaStatus is the ops-facing view of one replica, served by
+// GET /v1/replicas and returned by Gateway.Snapshot.
+type ReplicaStatus struct {
+	Name     string  `json:"name"`
+	URL      string  `json:"url"`
+	State    string  `json:"state"`
+	Inflight int64   `json:"inflight"`
+	Served   uint64  `json:"served"`
+	EWMAMS   float64 `json:"ewma_ms"`
+}
+
+func (r *replica) status() ReplicaStatus {
+	return ReplicaStatus{
+		Name:     r.name,
+		URL:      r.url,
+		State:    replicaState(r.state.Load()).String(),
+		Inflight: r.inflight.Load(),
+		Served:   r.served.Load(),
+		EWMAMS:   r.ewma() * 1e3,
+	}
+}

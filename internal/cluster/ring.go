@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// The consistent-hash ring gives every scan's content key a stable
+// owner replica, so repeat submissions of the same volume land where
+// the LRU result cache already holds the answer. Each replica
+// contributes VNodes points hashed from its URL, which keeps keys from
+// moving when an unrelated replica joins or leaves: membership changes
+// remap only the keys owned by the changed replica's arcs.
+
+type ringPoint struct {
+	hash uint64
+	rep  *replica
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// buildRing lays every replica's virtual nodes onto the ring, sorted by
+// hash. Ejected replicas stay on the ring — ownership is a property of
+// membership, not health — and lookups walk past them, so a recovered
+// replica gets its keys (and its warm cache) back unchanged.
+func buildRing(reps []*replica, vnodes int) []ringPoint {
+	ring := make([]ringPoint, 0, len(reps)*vnodes)
+	for _, r := range reps {
+		for v := 0; v < vnodes; v++ {
+			ring = append(ring, ringPoint{hash: hash64(r.url + "#" + strconv.Itoa(v)), rep: r})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].hash < ring[j].hash })
+	return ring
+}
+
+// ringOwner returns the first replica at or clockwise of key's hash for
+// which eligible returns true, or nil when none qualifies. Walking the
+// full ring (not just distinct replicas) keeps the fallback assignment
+// for a down owner's keys consistent too.
+func ringOwner(ring []ringPoint, key string, eligible func(*replica) bool) *replica {
+	if len(ring) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
+	seen := make(map[*replica]bool)
+	for i := 0; i < len(ring); i++ {
+		p := ring[(start+i)%len(ring)]
+		if seen[p.rep] {
+			continue
+		}
+		seen[p.rep] = true
+		if eligible(p.rep) {
+			return p.rep
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package cluster
+
+// Routing policy: cache affinity first, load-aware power-of-two-choices
+// otherwise.
+//
+// Affinity: the scan's SHA-256 content key names a consistent-hash
+// owner; if the owner is healthy and not overloaded, the scan goes
+// there, because a repeat submission hits that replica's
+// content-addressed LRU result cache and answers in O(1). The overload
+// guard (AffinityMaxInflight) stops a hot key from melting its owner —
+// past it, the scan falls through to load-aware placement.
+//
+// Power-of-two-choices: sample two distinct healthy replicas uniformly
+// and take the one with the lower (inflight+1) × EWMA-latency score.
+// Two random choices avoid both the herding of pick-least-loaded under
+// stale data and the O(n) scan of the full set.
+
+// pick selects the replica for one attempt. key == "" skips affinity
+// (hedges and retries want placement, not cache warmth). exclude lists
+// replicas already tried this request. The second return reports
+// whether the choice was affinity-routed.
+//
+// When no healthy candidate exists the gateway does not give up: it
+// falls back to excluded-then-unhealthy replicas, because an attempt
+// against a half-dead replica doubles as a probe and the alternative is
+// failing the scan outright.
+func (g *Gateway) pick(key string, exclude map[*replica]bool) (*replica, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	if key != "" {
+		owner := ringOwner(g.ring, key, func(r *replica) bool {
+			return r.healthy() && !exclude[r] && r.inflight.Load() < g.cfg.AffinityMaxInflight
+		})
+		if owner != nil {
+			return owner, true
+		}
+	}
+
+	var healthy []*replica
+	for _, r := range g.replicas {
+		if r.healthy() && !exclude[r] {
+			healthy = append(healthy, r)
+		}
+	}
+	if len(healthy) == 0 {
+		for _, r := range g.replicas {
+			if !exclude[r] {
+				healthy = append(healthy, r)
+			}
+		}
+	}
+	switch len(healthy) {
+	case 0:
+		return nil, false
+	case 1:
+		return healthy[0], false
+	}
+	i := g.rng.Intn(len(healthy))
+	j := g.rng.Intn(len(healthy) - 1)
+	if j >= i {
+		j++
+	}
+	a, b := healthy[i], healthy[j]
+	if routeScore(b) < routeScore(a) {
+		a = b
+	}
+	return a, false
+}
+
+// routeScore is the load estimate p2c minimizes: queued work times how
+// slowly this replica has been finishing it. The latency floor keeps a
+// replica with no samples yet comparable instead of infinitely
+// attractive.
+func routeScore(r *replica) float64 {
+	lat := r.ewma()
+	if lat <= 0 {
+		lat = 1e-3
+	}
+	return float64(r.inflight.Load()+1) * lat
+}

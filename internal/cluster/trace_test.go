@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"computecovid19/internal/obs"
+	"computecovid19/internal/serve"
+)
+
+// inboundSpanContext is a fixed remote identity playing the upstream
+// caller (a client that already opened a trace before hitting the
+// gateway).
+func inboundSpanContext() obs.SpanContext {
+	var sc obs.SpanContext
+	for i := range sc.Trace {
+		sc.Trace[i] = byte(0x20 + i)
+	}
+	for i := range sc.Span {
+		sc.Span[i] = byte(0xc0 + i)
+	}
+	return sc
+}
+
+// TestClusterTraceEndToEnd is the cross-process golden trace test: one
+// scan through gateway and replica must form a single trace tree —
+// continued from the inbound traceparent — whose spine runs
+// gateway/request → gateway/attempt → serve/request, with the
+// replica-side handler, queue, and process spans hanging under the
+// replica's request span. The gateway and replica only share the trace
+// through the Traceparent header on the wire, so this pins the whole
+// propagation chain.
+func TestClusterTraceEndToEnd(t *testing.T) {
+	defer obs.Reset()
+	obs.Reset()
+	obs.Enable()
+
+	_, rep := startReplica(t, serve.Config{Workers: 1})
+	_, gw := startGateway(t, Config{
+		Replicas:       []string{rep.URL},
+		DisableHedging: true,
+		// Health probes stay span-free by design, but a long interval
+		// keeps the run quiet regardless.
+		HealthInterval: time.Hour,
+	})
+
+	inbound := inboundSpanContext()
+	body := scanBody(t, uniqueVolumes(1)[0])
+	req, err := http.NewRequest(http.MethodPost, gw.URL+"/v1/scan", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Traceparent", inbound.Traceparent())
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	// The gateway answers in the caller's trace with its own span id.
+	echoed, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent"))
+	if !ok {
+		t.Fatalf("response traceparent unparseable: %q", resp.Header.Get("Traceparent"))
+	}
+	if echoed.Trace != inbound.Trace {
+		t.Fatalf("gateway opened trace %s instead of continuing inbound %s", echoed.Trace, inbound.Trace)
+	}
+	if echoed.Span == inbound.Span {
+		t.Fatal("gateway must mint its own span id, not echo the caller's")
+	}
+
+	recs, dropped := obs.TraceRecords()
+	if dropped != 0 {
+		t.Fatalf("span buffer dropped %d records", dropped)
+	}
+	byID := make(map[obs.SpanID]obs.SpanRecord, len(recs))
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+
+	// Golden span tree: both processes' spans, one trace, rooted at the
+	// gateway, crossing to the replica through the attempt span.
+	wantEdges := []string{
+		"gateway/attempt<-gateway/request",
+		"gateway/request<-inbound",
+		"serve/http<-serve/request",
+		"serve/process<-serve/request",
+		"serve/queue<-serve/request",
+		"serve/request<-gateway/attempt",
+	}
+	var gotEdges []string
+	var request obs.SpanRecord
+	for _, r := range recs {
+		if r.Trace != inbound.Trace {
+			continue
+		}
+		parent := "inbound"
+		if r.Parent != inbound.Span {
+			parent = byID[r.Parent].Name
+		}
+		gotEdges = append(gotEdges, r.Name+"<-"+parent)
+		if r.Name == "gateway/request" {
+			request = r
+		}
+	}
+	sort.Strings(gotEdges)
+	if strings.Join(gotEdges, "\n") != strings.Join(wantEdges, "\n") {
+		t.Fatalf("cluster trace tree:\n%s\nwant:\n%s",
+			strings.Join(gotEdges, "\n"), strings.Join(wantEdges, "\n"))
+	}
+	if request.ID != echoed.Span {
+		t.Fatal("response traceparent must name the gateway/request span")
+	}
+}

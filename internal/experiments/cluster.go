@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"computecovid19/internal/classify"
+	"computecovid19/internal/cluster"
+	"computecovid19/internal/core"
+	"computecovid19/internal/dataset"
+	"computecovid19/internal/ddnet"
+	"computecovid19/internal/obs"
+	"computecovid19/internal/serve"
+	"computecovid19/internal/volume"
+	"computecovid19/internal/workflow"
+)
+
+// ClusterBench measures the multi-replica data plane end to end: it
+// starts three in-process ccserve replicas behind a cluster gateway,
+// derives workflow.ClusterModel's predicted throughput from profiled
+// stage times, and hammers the gateway with closed-loop clients to
+// compare measurement against prediction. When outPath is non-empty the
+// machine-readable report is written there (the BENCH_cluster.json
+// format, serve_* and cluster_* counters included).
+func ClusterBench(cfg Config, outPath string) string {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	enh := ddnet.New(rng, ddnet.TinyConfig())
+	cls := classify.New(rng, classify.SmallConfig())
+	p := core.NewPipeline(enh, cls)
+
+	cohortCfg := dataset.DefaultCohortConfig()
+	cohortCfg.Count = 4
+	cohortCfg.Seed = cfg.Seed + 1
+	cases := dataset.BuildCohort(cohortCfg)
+
+	const replicas = 3
+	workers := 2
+	batch := cohortCfg.Depth
+	requests, concurrency := 120, 24
+	if cfg.Quick {
+		requests, concurrency = 36, 12
+	}
+
+	enhSlice, segClsScan := profileStages(p, cases[0], batch)
+	model := workflow.ClusterModel{
+		Replicas: replicas,
+		Replica: workflow.ServeModel{
+			Workers: workers, BatchSize: batch, BatchTimeout: 2 * time.Millisecond,
+			SlicesPerScan: cohortCfg.Depth, EnhanceSlice: enhSlice,
+			Segment: segClsScan, // measured jointly; Classify stays 0
+		},
+	}
+	predicted := model.PredictedThroughput()
+
+	// Three real replicas on loopback listeners, one shared (stateless)
+	// pipeline.
+	var (
+		servers []*serve.Server
+		urls    []string
+	)
+	for i := 0; i < replicas; i++ {
+		s, err := serve.New(serve.Config{
+			Pipeline: p, Workers: workers, QueueDepth: 2 * requests,
+			BatchSize: batch, BatchTimeout: 2 * time.Millisecond,
+			CacheSize: -1, // unique volumes; measure the data plane, not the cache
+		})
+		if err != nil {
+			return "cluster bench: " + err.Error()
+		}
+		s.Start()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		servers = append(servers, s)
+		urls = append(urls, ts.URL)
+	}
+
+	g, err := cluster.New(cluster.Config{Replicas: urls, Seed: cfg.Seed})
+	if err != nil {
+		return "cluster bench: " + err.Error()
+	}
+	g.Start()
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	hedgesBefore := obs.GetCounter("cluster_hedges_total").Value()
+	retriesBefore := obs.GetCounter("cluster_retries_total").Value()
+
+	vols := make([]*volume.Volume, len(cases))
+	for i, c := range cases {
+		vols[i] = c.Volume
+	}
+	rep, err := serve.RunLoadURLs([]string{gw.URL}, serve.LoadOptions{
+		Requests:    requests,
+		Concurrency: concurrency,
+		Volumes:     vols,
+		Perturb:     true,
+		Seed:        cfg.Seed + 2,
+	})
+	if err != nil {
+		return "cluster bench: " + err.Error()
+	}
+	snapshot := g.Snapshot()
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	drainErr := g.Drain(drainCtx)
+	for _, s := range servers {
+		if err := s.Drain(drainCtx); drainErr == nil {
+			drainErr = err
+		}
+	}
+	cancel()
+
+	if outPath != "" {
+		if err := rep.WriteBenchJSON(outPath, "serve_", "cluster_"); err != nil {
+			return "cluster bench: " + err.Error()
+		}
+	}
+
+	t := &table{header: []string{"metric", "value"}}
+	t.add("replicas", fmt.Sprintf("%d × %d workers", replicas, workers))
+	t.add("requests", fmt.Sprintf("%d (%d clients)", rep.Requests, rep.Concurrency))
+	t.add("completed / rejected(429) / failed",
+		fmt.Sprintf("%d / %d / %d", rep.Completed, rep.Rejected, rep.Failed))
+	t.add("throughput", fmt.Sprintf("%.2f scans/s", rep.RPS))
+	t.add("latency p50 / p95 / p99",
+		fmt.Sprintf("%.1f / %.1f / %.1f ms", rep.P50MS, rep.P95MS, rep.P99MS))
+	t.add("hedges / retries", fmt.Sprintf("%d / %d",
+		obs.GetCounter("cluster_hedges_total").Value()-hedgesBefore,
+		obs.GetCounter("cluster_retries_total").Value()-retriesBefore))
+	t.add("model predicted throughput", fmt.Sprintf("%.2f scans/s", predicted))
+	if predicted > 0 {
+		t.add("measured / predicted", fmt.Sprintf("%.2f", rep.RPS/predicted))
+	}
+	if lambda := 0.6 * predicted; lambda > 0 {
+		t.add("model p99 @ 60% load", fmt.Sprintf("%.1f ms",
+			model.PredictedP99(lambda).Seconds()*1e3))
+	}
+	for _, rs := range snapshot {
+		t.add("replica "+rs.Name+" served", fmt.Sprintf("%d (%s)", rs.Served, rs.State))
+	}
+
+	var b strings.Builder
+	b.WriteString("Cluster benchmark — internal/cluster (gateway over ccserve replicas)\n")
+	fmt.Fprintf(&b, "Demo-scale pipeline behind a gateway: %d replicas, %d×%d×%d volumes.\n\n",
+		replicas, cohortCfg.Depth, cohortCfg.Size, cohortCfg.Size)
+	b.WriteString(t.String())
+	if drainErr != nil {
+		fmt.Fprintf(&b, "drain error: %v\n", drainErr)
+	}
+	if outPath != "" {
+		fmt.Fprintf(&b, "\nwrote %s\n", outPath)
+	}
+	return b.String()
+}

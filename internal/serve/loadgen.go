@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -63,6 +64,20 @@ type LoadReport struct {
 // submissions are retried after the advertised backoff, so every request
 // eventually lands unless it fails outright.
 func RunLoad(s *Server, opt LoadOptions) (LoadReport, error) {
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	return RunLoadURLs([]string{ts.URL}, opt)
+}
+
+// RunLoadURLs is RunLoad against already-listening targets: each
+// closed-loop client is pinned round-robin to one of the base URLs and
+// submits + polls there, so the generator can drive a single server, a
+// gateway, or the replicas of a cluster directly (the BENCH_cluster.json
+// path).
+func RunLoadURLs(urls []string, opt LoadOptions) (LoadReport, error) {
+	if len(urls) == 0 {
+		return LoadReport{}, fmt.Errorf("serve: RunLoadURLs needs at least one target URL")
+	}
 	if len(opt.Volumes) == 0 {
 		return LoadReport{}, fmt.Errorf("serve: RunLoad needs at least one volume")
 	}
@@ -75,9 +90,6 @@ func RunLoad(s *Server, opt LoadOptions) (LoadReport, error) {
 	if opt.PollInterval <= 0 {
 		opt.PollInterval = 2 * time.Millisecond
 	}
-
-	ts := httptest.NewServer(s.Handler())
-	defer ts.Close()
 
 	batchCountBefore, batchSumBefore := batchSizeHist.Count(), batchSizeHist.Sum()
 	batchCumBefore := batchSizeHist.Cumulative()
@@ -103,9 +115,10 @@ func RunLoad(s *Server, opt LoadOptions) (LoadReport, error) {
 		go func(client int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(opt.Seed + int64(client)))
-			httpc := ts.Client()
+			httpc := &http.Client{}
+			baseURL := urls[client%len(urls)]
 			for i := range next {
-				lat, retries, err := submitAndWait(httpc, ts.URL, opt, rng, i)
+				lat, retries, err := submitAndWait(httpc, baseURL, opt, rng, i)
 				mu.Lock()
 				rejected += retries
 				if err != nil {
@@ -161,7 +174,8 @@ func submitAndWait(httpc *http.Client, baseURL string, opt LoadOptions, rng *ran
 		if err != nil {
 			return 0, retries, err
 		}
-		if resp.StatusCode == http.StatusTooManyRequests {
+		if resp.StatusCode == http.StatusTooManyRequests ||
+			(resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "") {
 			resp.Body.Close()
 			retries++
 			time.Sleep(opt.PollInterval)
@@ -235,18 +249,26 @@ func batchDelta(bounds []float64, before, after []uint64) map[string]uint64 {
 	return out
 }
 
-// WriteBenchJSON writes the report as indented JSON plus the serving
-// counters — the BENCH_serve.json format.
-func (r LoadReport) WriteBenchJSON(path string) error {
+// WriteBenchJSON writes the report as indented JSON plus the counters
+// matching the given name prefixes — the BENCH_serve.json /
+// BENCH_cluster.json format. With no prefixes it keeps the serving
+// counters only.
+func (r LoadReport) WriteBenchJSON(path string, prefixes ...string) error {
 	type benchFile struct {
 		LoadReport
 		Counters map[string]uint64 `json:"counters"`
 	}
+	if len(prefixes) == 0 {
+		prefixes = []string{"serve_"}
+	}
 	dump := obs.Default.Snapshot()
 	counters := make(map[string]uint64)
 	for name, v := range dump.Counters {
-		if len(name) > 6 && name[:6] == "serve_" {
-			counters[name] = v
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				counters[name] = v
+				break
+			}
 		}
 	}
 	data, err := json.MarshalIndent(benchFile{LoadReport: r, Counters: counters}, "", "  ")

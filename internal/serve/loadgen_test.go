@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"computecovid19/internal/core"
+	"computecovid19/internal/volume"
+)
+
+// TestRunLoadURLsRoundRobin pins the multi-target contract: clients are
+// assigned to base URLs round-robin, so with two targets and an even
+// client count both servers carry traffic and every request completes.
+func TestRunLoadURLsRoundRobin(t *testing.T) {
+	const targets = 2
+	var servers [targets]*Server
+	var counts [targets]atomic.Int64
+	urls := make([]string, targets)
+	for i := 0; i < targets; i++ {
+		i := i
+		s, err := New(Config{
+			Workers: 2, QueueDepth: 32, CacheSize: -1,
+			Process: func(v *volume.Volume) core.Result {
+				counts[i].Add(1)
+				return core.Result{Probability: 0.5}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		servers[i] = s
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+
+	rep, err := RunLoadURLs(urls, LoadOptions{
+		Requests:    24,
+		Concurrency: 4,
+		Volumes:     uniqueVolumes(3),
+		Perturb:     true,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 || rep.Completed != rep.Requests {
+		t.Fatalf("completed %d / failed %d of %d", rep.Completed, rep.Failed, rep.Requests)
+	}
+	for i := range counts {
+		if counts[i].Load() == 0 {
+			t.Fatalf("target %d received no traffic (counts %d / %d)",
+				i, counts[0].Load(), counts[1].Load())
+		}
+	}
+	if got := counts[0].Load() + counts[1].Load(); got != int64(rep.Requests) {
+		t.Fatalf("targets processed %d scans, want %d", got, rep.Requests)
+	}
+	for _, s := range servers {
+		if err := s.Drain(drainCtx(t, 10*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

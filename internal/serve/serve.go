@@ -304,6 +304,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		cacheHits.Inc()
 		j := s.store.newJob(vol, key, time.Time{})
 		s.store.finishCached(j, res)
+		w.Header().Set("X-Cache", "hit")
 		writeJSON(w, http.StatusOK, s.store.view(j))
 		endHere(http.StatusOK)
 		s.slo.Observe(time.Since(start), false)
@@ -354,6 +355,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	admittedTotal.Inc()
 	queueDepth.Add(1)
+	// The gateway's cache-affine router measures its end-to-end affinity
+	// hit rate off this header, so the miss case is announced too.
+	w.Header().Set("X-Cache", "miss")
 	writeJSON(w, http.StatusAccepted, s.store.view(j))
 	hsp.End()
 }

@@ -397,6 +397,100 @@ func TestHTTPValidationAndMetrics(t *testing.T) {
 	}
 }
 
+// TestXCacheHeader pins the X-Cache response header the cluster gateway
+// keys its affinity accounting on: a first submission announces "miss",
+// an identical re-submission announces "hit".
+func TestXCacheHeader(t *testing.T) {
+	p := testPipeline(t, false, 13)
+	cases := testCohort(t, 1, 17)
+	s, ts := startServer(t, Config{Pipeline: p, Workers: 1, QueueDepth: 4, CacheSize: 8})
+
+	resp, first := submit(t, ts, cases[0].Volume, 0)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first submission X-Cache = %q, want miss", got)
+	}
+	if done := poll(t, ts, first.ID, 30*time.Second); done.State != StateDone {
+		t.Fatalf("first submission: %+v", done)
+	}
+
+	resp, _ = submit(t, ts, cases[0].Volume, 0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-submission: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("re-submission X-Cache = %q, want hit", got)
+	}
+	if err := s.Drain(drainCtx(t, 10*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadyzDuringDrain pins the drain-state contract the gateway's
+// health ejection relies on: /readyz flips to 503 the moment Drain
+// begins — while accepted scans are still finishing — not only after
+// the drain completes, so a draining replica stops receiving traffic
+// before it stops answering.
+func TestReadyzDuringDrain(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s, ts := startServer(t, Config{
+		Workers: 1, QueueDepth: 4, CacheSize: -1,
+		Process: func(v *volume.Volume) core.Result {
+			started <- struct{}{}
+			<-release
+			return core.Result{Probability: 0.5}
+		},
+	})
+
+	_, view := submit(t, ts, uniqueVolumes(1)[0], 0)
+	<-started // worker now mid-scan
+
+	readyz := func() int {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := readyz(); got != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", got)
+	}
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- s.Drain(drainCtx(t, 10*time.Second)) }()
+	// Draining turns true before Drain blocks on in-flight work; wait
+	// for the flip, then confirm the server is mid-drain, not done.
+	for wait := time.Now().Add(5 * time.Second); !s.Draining(); {
+		if time.Now().After(wait) {
+			t.Fatal("server never entered the draining state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := readyz(); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d, want 503", got)
+	}
+	select {
+	case err := <-drainDone:
+		t.Fatalf("drain finished with a scan still blocked (err %v)", err)
+	default:
+	}
+
+	close(release)
+	if err := <-drainDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := poll(t, ts, view.ID, 5*time.Second); got.State != StateDone {
+		t.Fatalf("in-flight scan after drain: %+v", got)
+	}
+	if got := readyz(); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain: %d, want 503", got)
+	}
+}
+
 // uniqueVolumes returns tiny distinct volumes (cache keys differ).
 func uniqueVolumes(n int) []*volume.Volume {
 	out := make([]*volume.Volume, n)

@@ -1,0 +1,148 @@
+package workflow
+
+import (
+	"math"
+	"time"
+)
+
+// ClusterModel is the discrete-event model of internal/cluster: a
+// gateway load-balancing scans across Replicas identical ccserve
+// instances. It predicts how cluster throughput and tail latency move
+// with the replica count, so capacity planning ("how many replicas for
+// this admission rate at this p99?") has an analytic answer that the
+// simulator — and the measured BENCH_cluster.json numbers — can be
+// checked against.
+type ClusterModel struct {
+	// Replicas is the ccserve instance count behind the gateway.
+	Replicas int
+	// Replica describes one instance (workers, batching, stage times).
+	Replica ServeModel
+	// GatewayOverhead is the per-scan routing + result-poll cost added by
+	// the gateway. It adds latency but no capacity limit: the gateway is
+	// I/O-bound and effectively unlimited next to scan service times.
+	GatewayOverhead time.Duration
+}
+
+// ClusterPipeline maps the cluster onto the simulator's stage
+// machinery. Perfect load balancing is assumed, so N replicas appear as
+// wider stages: N micro-batchers and N×Workers segment+classify
+// servers. That is the same idealization PredictedThroughput makes,
+// which is exactly why the two are comparable — and why both sit above
+// the measured numbers when routing is imperfect.
+func (m ClusterModel) ClusterPipeline() Pipeline {
+	replicas := m.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	workers := m.Replica.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	stages := []Stage{}
+	if m.GatewayOverhead > 0 {
+		stages = append(stages, Stage{
+			Name:     "gateway",
+			Duration: Fixed(m.GatewayOverhead),
+			Servers:  0, // unlimited
+		})
+	}
+	if enh := m.Replica.enhancePerScan(); enh > 0 {
+		stages = append(stages, Stage{
+			Name:         "enhance (micro-batched)",
+			Duration:     Fixed(enh),
+			Servers:      replicas,
+			BatchSize:    m.Replica.scanBatch(),
+			BatchTimeout: m.Replica.BatchTimeout,
+		})
+	}
+	stages = append(stages, Stage{
+		Name:     "segment+classify",
+		Duration: Fixed(m.Replica.Segment + m.Replica.Classify),
+		Servers:  replicas * workers,
+	})
+	return Pipeline{Name: "ccgate cluster", Stages: stages}
+}
+
+// PredictedThroughput is the saturated cluster scan rate in scans/s:
+// replicas run independently, so capacity scales linearly until
+// something off-model (the gateway host, the network) saturates.
+func (m ClusterModel) PredictedThroughput() float64 {
+	replicas := m.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	return float64(replicas) * m.Replica.PredictedThroughput()
+}
+
+// serviceTime is one scan's end-to-end service time through an idle
+// cluster: gateway overhead plus every replica-side stage in sequence.
+func (m ClusterModel) serviceTime() time.Duration {
+	return m.GatewayOverhead + m.Replica.enhancePerScan() +
+		m.Replica.Segment + m.Replica.Classify
+}
+
+// bottleneckServers returns the parallel server count and per-scan
+// service time of the cluster's bottleneck stage — the queue that
+// governs waiting under load.
+func (m ClusterModel) bottleneckServers() (int, time.Duration) {
+	replicas := m.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	workers := m.Replica.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	poolService := m.Replica.Segment + m.Replica.Classify
+	c, svc := replicas*workers, poolService
+	if enh := m.Replica.enhancePerScan(); enh > 0 {
+		// The batcher tier is one server per replica; if its rate is the
+		// lower one, it is the queue that backs up.
+		if 1/enh.Seconds() < float64(workers)/poolService.Seconds() {
+			c, svc = replicas, enh
+		}
+	}
+	return c, svc
+}
+
+// PredictedQuantile predicts the response-time quantile q (e.g. 0.99)
+// at a Poisson admission rate of lambda scans/s, by treating the
+// bottleneck stage as an M/M/c queue: Erlang-C gives the probability an
+// arriving scan waits, the conditional wait is exponential with rate
+// cμ−λ, and the service time through the rest of the pipeline rides on
+// top. At or beyond capacity the wait is unbounded and the prediction
+// is +Inf (returned as math.MaxInt64 ns).
+func (m ClusterModel) PredictedQuantile(q, lambda float64) time.Duration {
+	c, svc := m.bottleneckServers()
+	mu := 1 / svc.Seconds()
+	if lambda >= float64(c)*mu {
+		return time.Duration(math.MaxInt64)
+	}
+	if lambda <= 0 {
+		return m.serviceTime()
+	}
+	pw := erlangC(c, lambda/mu)
+	wait := 0.0
+	if pw > 1-q {
+		// P(Wq > t) = Pw·e^{−(cμ−λ)t}; solve for the q-quantile.
+		wait = math.Log(pw/(1-q)) / (float64(c)*mu - lambda)
+	}
+	return m.serviceTime() + time.Duration(wait*float64(time.Second))
+}
+
+// PredictedP99 is PredictedQuantile at q = 0.99.
+func (m ClusterModel) PredictedP99(lambda float64) time.Duration {
+	return m.PredictedQuantile(0.99, lambda)
+}
+
+// erlangC is the Erlang-C delay probability for an M/M/c queue with
+// offered load a = λ/μ erlangs. Computed with the stable recurrence on
+// the Erlang-B blocking probability (no factorials).
+func erlangC(c int, a float64) float64 {
+	b := 1.0 // Erlang-B with 0 servers
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	return b / (1 - rho*(1-b))
+}

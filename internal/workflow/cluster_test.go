@@ -1,0 +1,93 @@
+package workflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func testClusterModel(replicas int) ClusterModel {
+	return ClusterModel{
+		Replicas: replicas,
+		Replica: ServeModel{
+			Workers: 4, BatchSize: 16, BatchTimeout: 2 * time.Millisecond,
+			SlicesPerScan: 8, EnhanceSlice: 2 * time.Millisecond,
+			Segment: 90 * time.Millisecond, Classify: 30 * time.Millisecond,
+		},
+		GatewayOverhead: 2 * time.Millisecond,
+	}
+}
+
+func TestClusterThroughputScalesLinearly(t *testing.T) {
+	single := testClusterModel(1).PredictedThroughput()
+	if want := testClusterModel(1).Replica.PredictedThroughput(); math.Abs(single-want) > 1e-9 {
+		t.Fatalf("1-replica cluster %v scans/s, want the replica's own %v", single, want)
+	}
+	for _, n := range []int{2, 3, 8} {
+		got := testClusterModel(n).PredictedThroughput()
+		if want := float64(n) * single; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%d-replica throughput %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestClusterPipelineMatchesPrediction is the simulator cross-check:
+// a saturated burst through ClusterPipeline must drain at roughly the
+// analytic rate, for more than one replica count.
+func TestClusterPipelineMatchesPrediction(t *testing.T) {
+	for _, n := range []int{1, 3} {
+		m := testClusterModel(n)
+		const patients = 600
+		rng := rand.New(rand.NewSource(1))
+		res := Run(m.ClusterPipeline(), patients, 0, rng)
+		simulated := float64(patients) / res.Max.Seconds()
+		predicted := m.PredictedThroughput()
+		if ratio := simulated / predicted; ratio < 0.8 || ratio > 1.2 {
+			t.Fatalf("replicas=%d: simulated %.2f scans/s vs predicted %.2f (ratio %.3f)",
+				n, simulated, predicted, ratio)
+		}
+	}
+}
+
+func TestClusterPredictedQuantileShape(t *testing.T) {
+	m := testClusterModel(3)
+	cap := m.PredictedThroughput()
+
+	// An idle cluster answers in one service time.
+	if got, want := m.PredictedP99(0), m.serviceTime(); got != want {
+		t.Fatalf("idle p99 %v, want service time %v", got, want)
+	}
+	// Tail latency must grow with load...
+	low, high := m.PredictedP99(0.3*cap), m.PredictedP99(0.9*cap)
+	if high <= low {
+		t.Fatalf("p99 did not grow with load: %v at 30%% vs %v at 90%%", low, high)
+	}
+	// ...explode at capacity...
+	if got := m.PredictedP99(cap); got != time.Duration(math.MaxInt64) {
+		t.Fatalf("p99 at capacity = %v, want unbounded", got)
+	}
+	// ...and shrink when replicas are added at fixed admission rate.
+	if wider := testClusterModel(6).PredictedP99(0.9 * cap); wider >= high {
+		t.Fatalf("doubling replicas did not cut p99: %v vs %v", wider, high)
+	}
+}
+
+// TestClusterP99MatchesSimulation validates the Erlang-C tail against
+// the discrete-event simulation at moderate load. The simulator's
+// arrivals are uniform over the window (Poisson-like for large n) and
+// its pipeline has structure the single-queue model abstracts away, so
+// the band is loose — the model must get the order of magnitude and the
+// load trend right, not the third digit.
+func TestClusterP99MatchesSimulation(t *testing.T) {
+	m := testClusterModel(3)
+	lambda := 0.6 * m.PredictedThroughput()
+	const patients = 3000
+	window := time.Duration(float64(patients) / lambda * float64(time.Second))
+	rng := rand.New(rand.NewSource(1))
+	res := Run(m.ClusterPipeline(), patients, window, rng)
+	predicted := m.PredictedP99(lambda)
+	if ratio := res.P99.Seconds() / predicted.Seconds(); ratio < 0.33 || ratio > 3 {
+		t.Fatalf("simulated p99 %v vs predicted %v (ratio %.3f)", res.P99, predicted, ratio)
+	}
+}

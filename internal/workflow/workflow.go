@@ -103,8 +103,8 @@ func CTPipeline() Pipeline {
 
 // Result summarizes simulated turnaround times.
 type Result struct {
-	Patients                    int
-	Mean, Median, P90, Min, Max time.Duration
+	Patients                         int
+	Mean, Median, P90, P99, Min, Max time.Duration
 }
 
 // Run pushes `patients` arrivals (Poisson-ish uniform jitter over the
@@ -146,6 +146,7 @@ func Run(p Pipeline, patients int, arrivalWindow time.Duration, rng *rand.Rand) 
 		Mean:     sum / time.Duration(patients),
 		Median:   turnaround[patients/2],
 		P90:      turnaround[patients*9/10],
+		P99:      turnaround[patients*99/100],
 		Min:      turnaround[0],
 		Max:      turnaround[patients-1],
 	}
