@@ -5,7 +5,7 @@ GO ?= go
 BENCHTIME ?=
 BENCHFLAGS = -bench . -benchmem -run '^$$' $(if $(BENCHTIME),-benchtime=$(BENCHTIME))
 
-.PHONY: build test race vet fmt lint lint-tools chaos cluster-chaos cover bench benchcheck ci clean
+.PHONY: build test race vet fmt lint lint-tools chaos cluster-chaos cover alloc bench benchcheck ci clean
 
 # Pinned static-analysis tool versions; `make lint-tools` installs them
 # (CI does this — it needs network, so it is not part of `make lint`).
@@ -24,10 +24,12 @@ test:
 
 # Race-check the concurrency-heavy packages: the obs metric registry
 # and span buffer, the parallel-for pool, the kernel-registry tiling,
-# the DDP trainer, the inference server (worker pool + micro-batcher +
-# admission control), and the cluster gateway (router, hedges, prober).
+# the memplan arena, the DDP trainer, the pooled pipeline, the
+# inference server (worker pool + micro-batcher + admission control),
+# and the cluster gateway (router, hedges, prober).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/parallel/... ./internal/kernels/... ./internal/distrib/... ./internal/serve/... ./internal/cluster/...
+	$(GO) test -race ./internal/obs/... ./internal/parallel/... ./internal/kernels/... ./internal/memplan/... ./internal/distrib/... ./internal/serve/... ./internal/cluster/...
+	$(GO) test -race -run 'Pooled|Concurrent|Allocs' ./internal/core/
 
 vet:
 	$(GO) vet ./...
@@ -76,18 +78,28 @@ cover:
 	$(GO) test -coverprofile=coverage-distrib.out ./internal/distrib/
 	./scripts/covcheck.sh coverage-distrib.out $(DISTRIB_MIN_COVER)
 
+# Allocation gate: the AllocsPerRun tests asserting the warm inference
+# hot paths (arena get/release, DDnet enhance, classifier predict, and
+# the whole-pipeline enhance/classify) allocate exactly zero bytes per
+# operation in steady state. Deterministic, so it blocks CI outright —
+# no threshold, no noise floor.
+alloc:
+	$(GO) test -run 'TestAllocs' -count=1 ./internal/memplan/ ./internal/ddnet/ ./internal/classify/ ./internal/core/
+
 # The full gate CI runs: build, lint, the whole test suite, the
 # race-detector pass over the concurrent packages, both chaos suites,
-# and the distrib coverage gate.
-ci: build lint test race chaos cluster-chaos cover
+# the allocation gate, and the distrib coverage gate.
+ci: build lint test race chaos cluster-chaos alloc cover
 
 # Disabled-telemetry overhead (must stay in the single-digit ns/op
-# range), the parallel-for overhead benchmark, and the kernel
-# optimization-ladder rungs.
+# range), the parallel-for overhead benchmark, the kernel
+# optimization-ladder rungs, and the pooled pipeline hot paths (whose
+# allocs/op must stay 0 — see `make alloc`).
 bench:
 	$(GO) test $(BENCHFLAGS) ./internal/obs/
 	$(GO) test $(BENCHFLAGS) ./internal/parallel/
 	$(GO) test $(BENCHFLAGS) ./internal/kernels/
+	$(GO) test $(BENCHFLAGS) ./internal/core/
 
 # Benchmark-regression gate: benchmark a baseline checkout (BASE_REF,
 # default origin/main or HEAD~1) against HEAD and fail on >15% ns/op

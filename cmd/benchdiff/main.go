@@ -13,7 +13,16 @@
 // blocks merges. Benchmarks present on only one side are listed and
 // skipped, so renames and additions never trip the gate.
 //
+// With -allocs the gate switches to memory mode: the B/op and allocs/op
+// columns that `go test -benchmem` emits are compared exactly — no
+// threshold, no floor — on every common benchmark whose name matches
+// -allocpattern (default "Pooled", the zero-allocation inference hot
+// path). Allocation counts are deterministic where timings are not, so
+// a single new alloc/op on a pooled hot path fails the gate.
+//
 // Usage: benchdiff [-threshold 15] [-floor 20] base.txt head.txt
+//
+//	benchdiff -allocs [-allocpattern Pooled] base.txt head.txt
 package main
 
 import (
@@ -26,16 +35,24 @@ import (
 	"strconv"
 )
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9]+) B/op\s+([0-9]+) allocs/op)?`)
 
-// parse returns every ns/op sample per benchmark in one output file.
-func parse(path string) (map[string][]float64, error) {
+// sample is one benchmark line. The memory columns are present only
+// when the run used -benchmem.
+type sample struct {
+	ns            float64
+	bytes, allocs float64
+	hasMem        bool
+}
+
+// parse returns every sample per benchmark in one output file.
+func parse(path string) (map[string][]sample, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	samples := map[string][]float64{}
+	samples := map[string][]sample{}
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -46,7 +63,13 @@ func parse(path string) (map[string][]float64, error) {
 		if err != nil {
 			continue
 		}
-		samples[m[1]] = append(samples[m[1]], ns)
+		s := sample{ns: ns}
+		if m[3] != "" {
+			s.bytes, _ = strconv.ParseFloat(m[3], 64)
+			s.allocs, _ = strconv.ParseFloat(m[4], 64)
+			s.hasMem = true
+		}
+		samples[m[1]] = append(samples[m[1]], s)
 	}
 	return samples, sc.Err()
 }
@@ -62,20 +85,83 @@ func median(xs []float64) float64 {
 	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
-func fold(samples map[string][]float64) map[string]float64 {
+func fold(samples map[string][]sample, pick func(sample) float64) map[string]float64 {
 	out := make(map[string]float64, len(samples))
 	for name, xs := range samples {
-		out[name] = median(xs)
+		vals := make([]float64, len(xs))
+		for i, s := range xs {
+			vals[i] = pick(s)
+		}
+		out[name] = median(vals)
 	}
 	return out
+}
+
+// withMem filters to samples carrying -benchmem columns.
+func withMem(samples map[string][]sample) map[string][]sample {
+	out := map[string][]sample{}
+	for name, xs := range samples {
+		for _, s := range xs {
+			if s.hasMem {
+				out[name] = append(out[name], s)
+			}
+		}
+	}
+	return out
+}
+
+func commonNames(base, head map[string]float64) []string {
+	var names []string
+	for name := range base {
+		if _, ok := head[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// gateAllocs is the -allocs mode: exact B/op and allocs/op comparison
+// on pattern-matching benchmarks. Returns the number of regressions.
+func gateAllocs(baseSamples, headSamples map[string][]sample, pattern *regexp.Regexp) int {
+	baseSamples, headSamples = withMem(baseSamples), withMem(headSamples)
+	allocs := func(s sample) float64 { return s.allocs }
+	bytes := func(s sample) float64 { return s.bytes }
+	baseA, headA := fold(baseSamples, allocs), fold(headSamples, allocs)
+	baseB, headB := fold(baseSamples, bytes), fold(headSamples, bytes)
+
+	var matched, regressions int
+	for _, name := range commonNames(baseA, headA) {
+		if !pattern.MatchString(name) {
+			continue
+		}
+		matched++
+		mark := " "
+		if headA[name] > baseA[name] || headB[name] > baseB[name] {
+			mark = "!"
+			regressions++
+		}
+		fmt.Printf("%s %-60s %8.0f -> %8.0f allocs/op  %10.0f -> %10.0f B/op\n",
+			mark, name, baseA[name], headA[name], baseB[name], headB[name])
+	}
+	if matched == 0 {
+		fmt.Printf("benchdiff: no common -benchmem benchmarks match %q; nothing to gate\n", pattern)
+		return 0
+	}
+	if regressions == 0 {
+		fmt.Printf("benchdiff: %d benchmark(s) hold their allocation budget exactly\n", matched)
+	}
+	return regressions
 }
 
 func main() {
 	threshold := flag.Float64("threshold", 15, "allowed ns/op regression in percent")
 	floor := flag.Float64("floor", 20, "noise floor: ignore regressions smaller than this many ns/op")
+	allocsMode := flag.Bool("allocs", false, "gate B/op and allocs/op exactly instead of ns/op")
+	allocPattern := flag.String("allocpattern", "Pooled", "benchmark name regexp the -allocs gate applies to")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-floor ns] base.txt head.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-floor ns] [-allocs [-allocpattern re]] base.txt head.txt")
 		os.Exit(2)
 	}
 	baseSamples, err := parse(flag.Arg(0))
@@ -88,15 +174,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	base, head := fold(baseSamples), fold(headSamples)
 
-	var names []string
-	for name := range base {
-		if _, ok := head[name]; ok {
-			names = append(names, name)
+	if *allocsMode {
+		pat, err := regexp.Compile(*allocPattern)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: bad -allocpattern:", err)
+			os.Exit(2)
 		}
+		if n := gateAllocs(baseSamples, headSamples, pat); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) allocate more than baseline (zero tolerance)\n", n)
+			os.Exit(1)
+		}
+		return
 	}
-	sort.Strings(names)
+
+	ns := func(s sample) float64 { return s.ns }
+	base, head := fold(baseSamples, ns), fold(headSamples, ns)
+	names := commonNames(base, head)
 
 	var regressions int
 	for _, name := range names {

@@ -89,7 +89,14 @@ func BatchNorm(x, gamma, beta *Value, runningMean, runningVar *tensor.Tensor,
 	}
 
 	out := tensor.New(x.T.Shape...)
-	xhat := make([]float32, len(x.T.Data)) // retained for backward
+	// xhat is retained for the backward pass, but only the training
+	// branch needs it materialized: in eval mode the statistics are
+	// constants, so the gamma gradient can recompute x̂ on the fly and
+	// the forward stays allocation-lean (it runs on every serving scan).
+	var xhat []float32
+	if training {
+		xhat = make([]float32, len(x.T.Data))
+	}
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
 			base := (ni*c + ci) * spatial
@@ -97,10 +104,17 @@ func BatchNorm(x, gamma, beta *Value, runningMean, runningVar *tensor.Tensor,
 			b := beta.T.Data[ci]
 			mu := float32(mean[ci])
 			is := invStd[ci]
-			for i := 0; i < spatial; i++ {
-				xh := (x.T.Data[base+i] - mu) * is
-				xhat[base+i] = xh
-				out.Data[base+i] = g*xh + b
+			if xhat != nil {
+				for i := 0; i < spatial; i++ {
+					xh := (x.T.Data[base+i] - mu) * is
+					xhat[base+i] = xh
+					out.Data[base+i] = g*xh + b
+				}
+			} else {
+				for i := 0; i < spatial; i++ {
+					xh := (x.T.Data[base+i] - mu) * is
+					out.Data[base+i] = g*xh + b
+				}
 			}
 		}
 	}
@@ -113,9 +127,17 @@ func BatchNorm(x, gamma, beta *Value, runningMean, runningVar *tensor.Tensor,
 			for ni := 0; ni < n; ni++ {
 				for ci := 0; ci < c; ci++ {
 					base := (ni*c + ci) * spatial
+					mu := float32(mean[ci])
+					is := invStd[ci]
 					var acc float32
-					for i := 0; i < spatial; i++ {
-						acc += gy[base+i] * xhat[base+i]
+					if xhat != nil {
+						for i := 0; i < spatial; i++ {
+							acc += gy[base+i] * xhat[base+i]
+						}
+					} else {
+						for i := 0; i < spatial; i++ {
+							acc += gy[base+i] * ((x.T.Data[base+i] - mu) * is)
+						}
 					}
 					gg[ci] += acc
 				}

@@ -1,0 +1,479 @@
+package ag
+
+import (
+	"math"
+
+	"computecovid19/internal/kernels"
+	"computecovid19/internal/memplan"
+	"computecovid19/internal/parallel"
+	"computecovid19/internal/tensor"
+)
+
+// Raw eval-mode ops for the pooled inference hot path. Each Eval*
+// function computes exactly the forward arithmetic of its autograd
+// twin — same loop nesting, same accumulation order, same float32/64
+// conversions — on plain tensors drawn from a memplan.Scope, building
+// no tape. Bit-identity with the graph ops is pinned by tests in ddnet
+// and classify.
+//
+// Parallel ops go through forPlanes: the closure handed to
+// parallel.ForEach is only created on the multi-worker branch, so a
+// single-proc run (testing.AllocsPerRun pins GOMAXPROCS=1) takes the
+// serial branch and allocates nothing. Per-plane work is independent,
+// so both branches produce identical bits.
+
+// forPlanes runs f(arg, plane) for plane in [0, n), in parallel when
+// more than one worker is available.
+func forPlanes[T any](n int, arg T, f func(T, int)) {
+	if parallel.DefaultWorkers() > 1 {
+		forPlanesParallel(n, arg, f)
+		return
+	}
+	for i := 0; i < n; i++ {
+		f(arg, i)
+	}
+}
+
+// forPlanesParallel holds forPlanes's only closure literal. It must
+// stay out of forPlanes itself: for args structs over the compiler's
+// by-value capture limit (conv3DArgs) the captured variable is moved
+// to the heap at function entry, which would tax the serial branch
+// with an allocation it never uses. noinline keeps the literal from
+// being inlined back.
+//
+//go:noinline
+func forPlanesParallel[T any](n int, arg T, f func(T, int)) {
+	parallel.ForEach(n, 0, func(i int) { f(arg, i) })
+}
+
+// EvalConv2D is the eval twin of Conv2DFast's kernel-registry path:
+// stride-1 "same" odd-square-kernel convolutions (all of DDnet)
+// dispatched to the default rung, batch elements in series.
+// Weights (OutC, InC, K, K); b may be nil.
+func EvalConv2D(sc *memplan.Scope, x, w, b *tensor.Tensor, cfg Conv2DConfig) *tensor.Tensor {
+	n, cin, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	cout, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	if !sameConvShape(kh, kw, cfg.Stride, cfg.Padding) {
+		panic("ag: EvalConv2D requires a stride-1 same-shape convolution")
+	}
+	im := kernels.Default()
+	out := sc.Get(n, cout, h, wd)
+	ks := kernels.ConvShape{InC: cin, H: h, W: wd, OutC: cout, K: kh}
+	plane := cin * h * wd
+	oplane := cout * h * wd
+	for ni := 0; ni < n; ni++ {
+		im.Conv(x.Data[ni*plane:(ni+1)*plane], w.Data,
+			out.Data[ni*oplane:(ni+1)*oplane], ks, 0)
+	}
+	evalAddBias(out.Data, b, n, cout, h*wd)
+	return out
+}
+
+// EvalConvTranspose2D is the eval twin of ConvTranspose2DFast.
+// Weights (InC, OutC, K, K); b may be nil.
+func EvalConvTranspose2D(sc *memplan.Scope, x, w, b *tensor.Tensor, cfg Conv2DConfig) *tensor.Tensor {
+	n, cin, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	cout, kh, kw := w.Shape[1], w.Shape[2], w.Shape[3]
+	if !sameConvShape(kh, kw, cfg.Stride, cfg.Padding) {
+		panic("ag: EvalConvTranspose2D requires a stride-1 same-shape deconvolution")
+	}
+	im := kernels.Default()
+	out := sc.Get(n, cout, h, wd)
+	ks := kernels.ConvShape{InC: cin, H: h, W: wd, OutC: cout, K: kh}
+	plane := cin * h * wd
+	oplane := cout * h * wd
+	for ni := 0; ni < n; ni++ {
+		im.Deconv(x.Data[ni*plane:(ni+1)*plane], w.Data,
+			out.Data[ni*oplane:(ni+1)*oplane], ks, 0)
+	}
+	evalAddBias(out.Data, b, n, cout, h*wd)
+	return out
+}
+
+func evalAddBias(out []float32, b *tensor.Tensor, n, cout, cols int) {
+	if b == nil {
+		return
+	}
+	for ni := 0; ni < n; ni++ {
+		for co := 0; co < cout; co++ {
+			base := (ni*cout + co) * cols
+			bias := b.Data[co]
+			for i := 0; i < cols; i++ {
+				out[base+i] += bias
+			}
+		}
+	}
+}
+
+// EvalLeakyReLUInPlace applies LeakyReLU's elementwise map in place.
+// Safe only on freshly produced tensors (the graph op is out-of-place).
+// Slope 0 is ReLU, including its 0·v = -0.0 treatment of negatives.
+func EvalLeakyReLUInPlace(t *tensor.Tensor, slope float32) {
+	d := t.Data
+	for i, v := range d {
+		if v < 0 {
+			d[i] = slope * v
+		}
+	}
+}
+
+// EvalAddInPlace accumulates b into a (the eval twin of Add where the
+// left operand is a fresh tensor).
+func EvalAddInPlace(a, b *tensor.Tensor) {
+	ad, bd := a.Data, b.Data
+	if len(ad) != len(bd) {
+		panic("ag: EvalAddInPlace shape mismatch")
+	}
+	for i := range ad {
+		ad[i] += bd[i]
+	}
+}
+
+// EvalClampInPlace applies tensor.Clamp's elementwise map in place.
+func EvalClampInPlace(t *tensor.Tensor, lo, hi float32) {
+	d := t.Data
+	for i, v := range d {
+		if v < lo {
+			d[i] = lo
+		} else if v > hi {
+			d[i] = hi
+		}
+	}
+}
+
+type maxPool2DArgs struct {
+	xd, od       []float32
+	h, w, oh, ow int
+	k, s, p      int
+}
+
+func maxPool2DPlane(a maxPool2DArgs, plane int) {
+	xbase := plane * a.h * a.w
+	obase := plane * a.oh * a.ow
+	for oy := 0; oy < a.oh; oy++ {
+		for ox := 0; ox < a.ow; ox++ {
+			best := float32(math.Inf(-1))
+			for ky := 0; ky < a.k; ky++ {
+				iy := oy*a.s - a.p + ky
+				if iy < 0 || iy >= a.h {
+					continue
+				}
+				for kx := 0; kx < a.k; kx++ {
+					ix := ox*a.s - a.p + kx
+					if ix < 0 || ix >= a.w {
+						continue
+					}
+					if v := a.xd[xbase+iy*a.w+ix]; v > best {
+						best = v
+					}
+				}
+			}
+			a.od[obase+oy*a.ow+ox] = best
+		}
+	}
+}
+
+// EvalMaxPool2D is the eval twin of MaxPool2D (no argmax bookkeeping).
+func EvalMaxPool2D(sc *memplan.Scope, x *tensor.Tensor, cfg Pool2DConfig) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	k, s, p := cfg.Kernel, cfg.Stride, cfg.Padding
+	oh, ow := convOutDim(h, k, s, p), convOutDim(w, k, s, p)
+	if oh <= 0 || ow <= 0 {
+		panic("ag: EvalMaxPool2D output would be empty")
+	}
+	out := sc.Get(n, c, oh, ow)
+	forPlanes(n*c, maxPool2DArgs{
+		xd: x.Data, od: out.Data,
+		h: h, w: w, oh: oh, ow: ow, k: k, s: s, p: p,
+	}, maxPool2DPlane)
+	return out
+}
+
+// BilinearTable caches UpsampleBilinear2D's per-axis source indices and
+// weights for one (in, out) axis pair, so a warm decoder recomputes
+// nothing per forward.
+type BilinearTable struct {
+	Lo, Hi []int
+	Frac   []float32
+}
+
+// NewBilinearTable precomputes the table with bilinearAxis's exact
+// half-pixel arithmetic.
+func NewBilinearTable(in, out int) *BilinearTable {
+	lo, hi, frac := bilinearAxis(in, out)
+	return &BilinearTable{Lo: lo, Hi: hi, Frac: frac}
+}
+
+type upsampleArgs struct {
+	xd, od       []float32
+	h, w, oh, ow int
+	ty, tx       *BilinearTable
+}
+
+func upsamplePlane(a upsampleArgs, plane int) {
+	xbase := plane * a.h * a.w
+	obase := plane * a.oh * a.ow
+	for oy := 0; oy < a.oh; oy++ {
+		y0, y1, wy := a.ty.Lo[oy], a.ty.Hi[oy], a.ty.Frac[oy]
+		for ox := 0; ox < a.ow; ox++ {
+			x0, x1, wx := a.tx.Lo[ox], a.tx.Hi[ox], a.tx.Frac[ox]
+			v00 := a.xd[xbase+y0*a.w+x0]
+			v01 := a.xd[xbase+y0*a.w+x1]
+			v10 := a.xd[xbase+y1*a.w+x0]
+			v11 := a.xd[xbase+y1*a.w+x1]
+			top := v00 + wx*(v01-v00)
+			bot := v10 + wx*(v11-v10)
+			a.od[obase+oy*a.ow+ox] = top + wy*(bot-top)
+		}
+	}
+}
+
+// EvalUpsampleBilinear2D is the eval twin of UpsampleBilinear2D, with
+// the axis tables supplied by the caller (cached per shape).
+func EvalUpsampleBilinear2D(sc *memplan.Scope, x *tensor.Tensor, scale int, ty, tx *BilinearTable) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h*scale, w*scale
+	if len(ty.Lo) != oh || len(tx.Lo) != ow {
+		panic("ag: EvalUpsampleBilinear2D table size mismatch")
+	}
+	out := sc.Get(n, c, oh, ow)
+	forPlanes(n*c, upsampleArgs{
+		xd: x.Data, od: out.Data,
+		h: h, w: w, oh: oh, ow: ow, ty: ty, tx: tx,
+	}, upsamplePlane)
+	return out
+}
+
+// EvalConcat is the eval twin of Concat. Like the graph op it returns
+// the input itself (not a copy) when vs has one element; the result is
+// scope-owned only when it is fresh.
+func EvalConcat(sc *memplan.Scope, axis int, vs []*tensor.Tensor) *tensor.Tensor {
+	if len(vs) == 0 {
+		panic("ag: EvalConcat of zero tensors")
+	}
+	if len(vs) == 1 {
+		return vs[0]
+	}
+	rank := vs[0].Rank()
+	var shapeArr [8]int
+	outShape := shapeArr[:rank]
+	copy(outShape, vs[0].Shape)
+	outShape[axis] = 0
+	for _, v := range vs {
+		if v.Rank() != rank {
+			panic("ag: EvalConcat rank mismatch")
+		}
+		for d := 0; d < rank; d++ {
+			if d != axis && v.Shape[d] != vs[0].Shape[d] {
+				panic("ag: EvalConcat non-axis dimension mismatch")
+			}
+		}
+		outShape[axis] += v.Shape[axis]
+	}
+	out := sc.Get(outShape...)
+	outer, inner := 1, 1
+	for d := 0; d < axis; d++ {
+		outer *= outShape[d]
+	}
+	for d := axis + 1; d < rank; d++ {
+		inner *= outShape[d]
+	}
+	outAxis := outShape[axis]
+	offset := 0
+	for _, v := range vs {
+		ax := v.Shape[axis]
+		for o := 0; o < outer; o++ {
+			src := v.Data[o*ax*inner : (o+1)*ax*inner]
+			dst := out.Data[(o*outAxis+offset)*inner : (o*outAxis+offset)*inner+ax*inner]
+			copy(dst, src)
+		}
+		offset += ax
+	}
+	return out
+}
+
+type conv3DArgs struct {
+	xd, wd, od, bd    []float32 // bd nil when the layer has no bias
+	cin, cout         int
+	dd, h, w          int
+	od0, oh, ow       int
+	kd, kh, kw        int
+	s, p              int
+	planeIn, planeOut int
+}
+
+func conv3DPlane(a conv3DArgs, idx int) {
+	ni, co := idx/a.cout, idx%a.cout
+	var bias float32
+	if a.bd != nil {
+		bias = a.bd[co]
+	}
+	obase := (ni*a.cout + co) * a.planeOut
+	for oz := 0; oz < a.od0; oz++ {
+		iz0 := oz*a.s - a.p
+		for oy := 0; oy < a.oh; oy++ {
+			iy0 := oy*a.s - a.p
+			for ox := 0; ox < a.ow; ox++ {
+				ix0 := ox*a.s - a.p
+				acc := bias
+				for ci := 0; ci < a.cin; ci++ {
+					xbase := (ni*a.cin + ci) * a.planeIn
+					wbase := (co*a.cin + ci) * a.kd * a.kh * a.kw
+					for kz := 0; kz < a.kd; kz++ {
+						iz := iz0 + kz
+						if iz < 0 || iz >= a.dd {
+							continue
+						}
+						for ky := 0; ky < a.kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= a.h {
+								continue
+							}
+							xrow := xbase + (iz*a.h+iy)*a.w
+							wrow := wbase + (kz*a.kh+ky)*a.kw
+							for kx := 0; kx < a.kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= a.w {
+									continue
+								}
+								acc += a.xd[xrow+ix] * a.wd[wrow+kx]
+							}
+						}
+					}
+				}
+				a.od[obase+(oz*a.oh+oy)*a.ow+ox] = acc
+			}
+		}
+	}
+}
+
+// EvalConv3D is the eval twin of Conv3D. Weights (Cout, Cin, KD, KH,
+// KW); b may be nil.
+func EvalConv3D(sc *memplan.Scope, x, w, b *tensor.Tensor, cfg Conv3DConfig) *tensor.Tensor {
+	n, cin, dd, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3], x.Shape[4]
+	cout, kd, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3], w.Shape[4]
+	s, p := cfg.Stride, cfg.Padding
+	od0 := convOutDim(dd, kd, s, p)
+	oh := convOutDim(h, kh, s, p)
+	ow := convOutDim(wd, kw, s, p)
+	if od0 <= 0 || oh <= 0 || ow <= 0 {
+		panic("ag: EvalConv3D output would be empty")
+	}
+	out := sc.Get(n, cout, od0, oh, ow)
+	var bd []float32
+	if b != nil {
+		bd = b.Data
+	}
+	forPlanes(n*cout, conv3DArgs{
+		xd: x.Data, wd: w.Data, od: out.Data, bd: bd,
+		cin: cin, cout: cout, dd: dd, h: h, w: wd,
+		od0: od0, oh: oh, ow: ow, kd: kd, kh: kh, kw: kw,
+		s: s, p: p, planeIn: dd * h * wd, planeOut: od0 * oh * ow,
+	}, conv3DPlane)
+	return out
+}
+
+type maxPool3DArgs struct {
+	xd, od            []float32
+	dd, h, w          int
+	od0, oh, ow       int
+	k, s, p           int
+	planeIn, planeOut int
+}
+
+func maxPool3DPlane(a maxPool3DArgs, plane int) {
+	xbase := plane * a.planeIn
+	obase := plane * a.planeOut
+	for oz := 0; oz < a.od0; oz++ {
+		for oy := 0; oy < a.oh; oy++ {
+			for ox := 0; ox < a.ow; ox++ {
+				best := float32(math.Inf(-1))
+				for kz := 0; kz < a.k; kz++ {
+					iz := oz*a.s - a.p + kz
+					if iz < 0 || iz >= a.dd {
+						continue
+					}
+					for ky := 0; ky < a.k; ky++ {
+						iy := oy*a.s - a.p + ky
+						if iy < 0 || iy >= a.h {
+							continue
+						}
+						for kx := 0; kx < a.k; kx++ {
+							ix := ox*a.s - a.p + kx
+							if ix < 0 || ix >= a.w {
+								continue
+							}
+							if v := a.xd[xbase+(iz*a.h+iy)*a.w+ix]; v > best {
+								best = v
+							}
+						}
+					}
+				}
+				a.od[obase+(oz*a.oh+oy)*a.ow+ox] = best
+			}
+		}
+	}
+}
+
+// EvalMaxPool3D is the eval twin of MaxPool3D (no argmax bookkeeping).
+func EvalMaxPool3D(sc *memplan.Scope, x *tensor.Tensor, cfg Pool2DConfig) *tensor.Tensor {
+	n, c, dd, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3], x.Shape[4]
+	k, s, p := cfg.Kernel, cfg.Stride, cfg.Padding
+	od0 := convOutDim(dd, k, s, p)
+	oh := convOutDim(h, k, s, p)
+	ow := convOutDim(w, k, s, p)
+	if od0 <= 0 || oh <= 0 || ow <= 0 {
+		panic("ag: EvalMaxPool3D output would be empty")
+	}
+	out := sc.Get(n, c, od0, oh, ow)
+	forPlanes(n*c, maxPool3DArgs{
+		xd: x.Data, od: out.Data,
+		dd: dd, h: h, w: w, od0: od0, oh: oh, ow: ow, k: k, s: s, p: p,
+		planeIn: dd * h * w, planeOut: od0 * oh * ow,
+	}, maxPool3DPlane)
+	return out
+}
+
+// EvalGlobalAvgPool3D is the eval twin of GlobalAvgPool3D.
+func EvalGlobalAvgPool3D(sc *memplan.Scope, x *tensor.Tensor) *tensor.Tensor {
+	n, c := x.Shape[0], x.Shape[1]
+	spatial := x.Shape[2] * x.Shape[3] * x.Shape[4]
+	out := sc.Get(n, c)
+	for plane := 0; plane < n*c; plane++ {
+		var acc float64
+		base := plane * spatial
+		for i := 0; i < spatial; i++ {
+			acc += float64(x.Data[base+i])
+		}
+		out.Data[plane] = float32(acc / float64(spatial))
+	}
+	return out
+}
+
+// EvalLinear is the eval twin of Linear. b may be nil.
+func EvalLinear(sc *memplan.Scope, x, w, b *tensor.Tensor) *tensor.Tensor {
+	n, in := x.Shape[0], x.Shape[1]
+	outF := w.Shape[0]
+	out := sc.Get(n, outF)
+	xd, wd, od := x.Data, w.Data, out.Data
+	for ni := 0; ni < n; ni++ {
+		for o := 0; o < outF; o++ {
+			var acc float32
+			if b != nil {
+				acc = b.Data[o]
+			}
+			xrow := ni * in
+			wrow := o * in
+			for i := 0; i < in; i++ {
+				acc += xd[xrow+i] * wd[wrow+i]
+			}
+			od[ni*outF+o] = acc
+		}
+	}
+	return out
+}
+
+// EvalSigmoid computes Sigmoid's elementwise map on one value.
+func EvalSigmoid(v float32) float32 {
+	return float32(1.0 / (1.0 + math.Exp(-float64(v))))
+}

@@ -1,0 +1,50 @@
+package classify
+
+import (
+	"computecovid19/internal/ag"
+	"computecovid19/internal/memplan"
+	"computecovid19/internal/volume"
+)
+
+// PredictPooled is Predict on the pooled, tape-free eval path: every
+// activation comes from mem, so a warm arena makes classification a
+// zero-steady-state-allocation operation. The volume's storage is
+// aliased read-only (never pooled). Bit identity with Predict is
+// pinned by TestPredictPooledBitIdentical.
+func (c *Classifier) PredictPooled(mem *memplan.Arena, v *volume.Volume) float64 {
+	c.SetTraining(false)
+	sc := mem.NewScope()
+	x := sc.View(v.Data, 1, 1, v.D, v.H, v.W)
+
+	s1 := c.stem.Infer(sc, x)
+	s2 := c.stemBN.Infer(sc, s1)
+	sc.Free(s1)
+	ag.EvalLeakyReLUInPlace(s2, 0) // ReLU, matching ag.ReLU bit for bit
+	h := ag.EvalMaxPool3D(sc, s2, ag.Pool2DConfig{Kernel: 2, Stride: 2})
+	sc.Free(s2)
+
+	for bi := range c.blocks {
+		hb := c.blocks[bi].Infer(sc, h)
+		sc.Free(h)
+		h = hb
+		if bi < len(c.transC) {
+			tc := c.transC[bi].Infer(sc, h)
+			sc.Free(h)
+			tb := c.transB[bi].Infer(sc, tc)
+			sc.Free(tc)
+			ag.EvalLeakyReLUInPlace(tb, 0)
+			h = ag.EvalMaxPool3D(sc, tb, ag.Pool2DConfig{Kernel: 2, Stride: 2})
+			sc.Free(tb)
+		}
+	}
+
+	hb := c.headBN.Infer(sc, h)
+	sc.Free(h)
+	ag.EvalLeakyReLUInPlace(hb, 0)
+	gap := ag.EvalGlobalAvgPool3D(sc, hb)
+	sc.Free(hb)
+	logit := c.fc.Infer(sc, gap)
+	p := float64(ag.EvalSigmoid(logit.Data[0]))
+	sc.Close()
+	return p
+}

@@ -1,0 +1,56 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"computecovid19/internal/memplan"
+	"computecovid19/internal/tensor"
+	"computecovid19/internal/volume"
+)
+
+func evalTestVolume(rng *rand.Rand, d, h, w int) *volume.Volume {
+	v := volume.New(d, h, w)
+	for i := range v.Data {
+		v.Data[i] = rng.Float32()
+	}
+	return v
+}
+
+// TestPredictPooledBitIdentical pins the pooled classifier forward to
+// the graph path: identical probability bits, cold and warm, and with
+// release poisoning enabled.
+func TestPredictPooledBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c := New(rng, SmallConfig())
+	v := evalTestVolume(rng, 16, 16, 16)
+	want := c.Predict(v)
+
+	mem := memplan.New()
+	if got := c.PredictPooled(mem, v); got != want {
+		t.Fatalf("cold arena: %v != %v", got, want)
+	}
+	if got := c.PredictPooled(mem, v); got != want {
+		t.Fatalf("warm arena: %v != %v", got, want)
+	}
+
+	prev := tensor.SetMemDebug(true)
+	defer tensor.SetMemDebug(prev)
+	if got := c.PredictPooled(memplan.New(), v); got != want {
+		t.Fatalf("memdebug arena: %v != %v", got, want)
+	}
+}
+
+// TestAllocsWarmPredict pins zero steady-state heap allocations for a
+// warm pooled classification.
+func TestAllocsWarmPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := New(rng, SmallConfig())
+	v := evalTestVolume(rng, 16, 16, 16)
+	mem := memplan.New()
+	warm := func() { c.PredictPooled(mem, v) }
+	warm()
+	if n := testing.AllocsPerRun(10, warm); n != 0 {
+		t.Fatalf("warm PredictPooled allocates %v allocs/op, want 0", n)
+	}
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"time"
 
 	"computecovid19/internal/ag"
@@ -15,6 +16,7 @@ import (
 	"computecovid19/internal/ctsim"
 	"computecovid19/internal/dataset"
 	"computecovid19/internal/ddnet"
+	"computecovid19/internal/memplan"
 	"computecovid19/internal/metrics"
 	"computecovid19/internal/nn"
 	"computecovid19/internal/obs"
@@ -58,6 +60,25 @@ type Pipeline struct {
 	Threshold float64
 	// WindowLo and WindowHi are the HU normalization window.
 	WindowLo, WindowHi float64
+
+	// Pooled inference memory (see internal/memplan): the tensor arena
+	// shared by every stage, a free list of per-scan scratch bundles,
+	// and a free list of output volumes fed by RecycleVolume. All three
+	// are lazy; the zero value works.
+	memOnce   sync.Once
+	mem       *memplan.Arena
+	scratchMu sync.Mutex
+	scratch   []*scanScratch
+	volMu     sync.Mutex
+	vols      []*volume.Volume
+}
+
+// Arena returns the pipeline's tensor arena, creating it on first use.
+// Every pooled buffer the pipeline hands out (Result.LungMask included)
+// belongs to this arena.
+func (p *Pipeline) Arena() *memplan.Arena {
+	p.memOnce.Do(func() { p.mem = memplan.New() })
+	return p.mem
 }
 
 // NewPipeline returns a pipeline with default segmentation options, the
@@ -110,19 +131,11 @@ func (p *Pipeline) enhance(v *volume.Volume, sp *obs.Span) *volume.Volume {
 	if p.Enhancer == nil {
 		return v
 	}
-	out := volume.New(v.D, v.H, v.W)
-	for z := 0; z < v.D; z++ {
-		img := tensor.New(v.H, v.W)
-		s := v.Slice(z)
-		for i, hu := range s {
-			img.Data[i] = float32(ctsim.NormalizeHU(float64(hu), p.WindowLo, p.WindowHi))
-		}
-		enh := p.Enhancer.Enhance(img)
-		dst := out.Slice(z)
-		for i, val := range enh.Data {
-			dst[i] = float32(ctsim.DenormalizeHU(float64(val), p.WindowLo, p.WindowHi))
-		}
-	}
+	// The forward passes run against the pipeline arena but root their
+	// own traces, exactly as the pre-pooled per-slice Enhance calls did;
+	// EnhanceInto is the variant that threads the caller's trace through.
+	out := p.GetVolume(v.D, v.H, v.W)
+	p.enhanceSlices(context.Background(), v, out)
 	return out
 }
 
@@ -170,20 +183,42 @@ func (p *Pipeline) ClassifyCtx(ctx context.Context, enhanced *volume.Volume) Res
 	return r
 }
 
-// classifyEnhanced is the shared segmentation + classification tail.
+// classifyEnhanced is the shared segmentation + classification tail. It
+// runs entirely from pooled memory — the lung mask comes from the
+// pipeline arena (hand it back with RecycleResult) and the masked,
+// windowed classifier input lives in reusable scan scratch — and is
+// bit-identical to segment.Apply + Volume.Normalized + Predict (pinned
+// by TestClassifyPooledBitIdentical).
 func (p *Pipeline) classifyEnhanced(enhanced *volume.Volume, sp *obs.Span) Result {
+	s := p.getScratch()
+
 	segSp := sp.Child("core/segment")
 	segStart := time.Now()
-	masked, mask := segment.Apply(enhanced, p.SegOpts)
+	mask := p.Arena().GetBools(len(enhanced.Data))
+	s.seg.LungsInto(enhanced, p.SegOpts, mask)
 	stageSegmentSeconds.Observe(time.Since(segStart).Seconds())
 	segSp.End()
 
 	clsSp := sp.Child("core/classify")
 	clsStart := time.Now()
-	prob := p.Classifier.Predict(masked.Normalized(p.WindowLo, p.WindowHi))
+	s.ensureVolume(enhanced.D, enhanced.H, enhanced.W)
+	// Fused mask + window: ApplyMask zeroes non-lung voxels before
+	// Normalized windows them, so a masked-out voxel windows to the
+	// constant NormalizeHU(0).
+	maskedOut := float32(ctsim.NormalizeHU(0, p.WindowLo, p.WindowHi))
+	norm := s.norm.Data
+	for i, hu := range enhanced.Data {
+		if mask[i] {
+			norm[i] = float32(ctsim.NormalizeHU(float64(hu), p.WindowLo, p.WindowHi))
+		} else {
+			norm[i] = maskedOut
+		}
+	}
+	prob := p.Classifier.PredictPooled(p.Arena(), s.norm)
 	stageClassifySeconds.Observe(time.Since(clsStart).Seconds())
 	clsSp.End()
 
+	p.putScratch(s)
 	return Result{
 		Probability: prob,
 		Positive:    prob >= p.Threshold,

@@ -24,9 +24,11 @@ import (
 	"context"
 	"math/rand"
 	"strconv"
+	"sync"
 
 	"computecovid19/internal/ag"
 	"computecovid19/internal/kernels"
+	"computecovid19/internal/memplan"
 	"computecovid19/internal/nn"
 	"computecovid19/internal/obs"
 	"computecovid19/internal/tensor"
@@ -108,6 +110,12 @@ type DDnet struct {
 	deconvAB []*nn.BatchNorm
 	deconvB  []*nn.ConvTranspose2D // 1×1
 	deconvBB []*nn.BatchNorm       // nil for the final stage
+
+	// Cached bilinear un-pooling tables for the pooled eval path,
+	// keyed by input axis length (eval.go). Lazily built; the mutex
+	// makes concurrent serve workers safe.
+	evalMu   sync.Mutex
+	evalTabs map[int]*ag.BilinearTable
 }
 
 // New constructs a DDnet with Gaussian-initialized weights drawn from
@@ -306,32 +314,19 @@ func (m *DDnet) EnhanceBatch(imgs []*tensor.Tensor) []*tensor.Tensor {
 }
 
 // EnhanceBatchCtx is EnhanceBatch continuing the context's trace into
-// the forward pass.
+// the forward pass. It runs the pooled tape-free eval forward against
+// the process-wide arena; the returned tensors are freshly allocated
+// and owned by the caller (they are never pooled back).
 func (m *DDnet) EnhanceBatchCtx(ctx context.Context, imgs []*tensor.Tensor) []*tensor.Tensor {
 	if len(imgs) == 0 {
 		return nil
 	}
 	h, w := imgs[0].Shape[0], imgs[0].Shape[1]
-	for _, img := range imgs {
-		if img.Rank() != 2 {
-			panic("ddnet: EnhanceBatch wants rank-2 (H, W) images")
-		}
-		if img.Shape[0] != h || img.Shape[1] != w {
-			panic("ddnet: EnhanceBatch images must share one size")
-		}
-	}
-	m.SetTraining(false)
-	x := tensor.New(len(imgs), 1, h, w)
-	for i, img := range imgs {
-		copy(x.Data[i*h*w:(i+1)*h*w], img.Data)
-	}
-	out := m.ForwardCtx(ctx, ag.Const(x))
 	res := make([]*tensor.Tensor, len(imgs))
 	for i := range imgs {
-		t := tensor.New(h, w)
-		copy(t.Data, out.T.Data[i*h*w:(i+1)*h*w])
-		res[i] = t.Clamp(0, 1)
+		res[i] = tensor.New(h, w)
 	}
+	m.EnhanceBatchInto(ctx, memplan.Global(), imgs, res)
 	return res
 }
 

@@ -1,0 +1,157 @@
+package ddnet
+
+import (
+	"context"
+	"strconv"
+
+	"computecovid19/internal/ag"
+	"computecovid19/internal/kernels"
+	"computecovid19/internal/memplan"
+	"computecovid19/internal/obs"
+	"computecovid19/internal/tensor"
+)
+
+// The pooled eval forward mirrors ForwardCtx op for op — same layer
+// order, same kernel dispatch, same span tree — but draws every
+// activation from a memplan.Scope and builds no autograd tape, so a
+// warm forward performs zero steady-state heap allocations. Bit
+// identity with the graph path is pinned by TestEnhancePooledBitIdentical.
+
+// bilinearTab returns the cached ×2 un-pooling table for an axis of
+// length n, building it on first use. Safe for concurrent forwards.
+func (m *DDnet) bilinearTab(n int) *ag.BilinearTable {
+	m.evalMu.Lock()
+	t := m.evalTabs[n]
+	if t == nil {
+		if m.evalTabs == nil {
+			m.evalTabs = make(map[int]*ag.BilinearTable)
+		}
+		t = ag.NewBilinearTable(n, 2*n)
+		m.evalTabs[n] = t
+	}
+	m.evalMu.Unlock()
+	return t
+}
+
+// forwardEval runs the eval-mode forward on plain tensors from sc.
+// The input x is owned by the caller and is never freed here (the
+// residual head reads it last); the returned tensor is scope-owned.
+// Every intermediate is freed as soon as its last consumer has run,
+// so peak arena footprint stays near the widest single stage.
+func (m *DDnet) forwardEval(ctx context.Context, sc *memplan.Scope, x *tensor.Tensor) *tensor.Tensor {
+	_, sp := obs.StartCtx(ctx, "ddnet/forward")
+	defer sp.End()
+	ksp := sp.Child("kernels/rung")
+	if ksp != nil {
+		ksp.SetAttr("rung", kernels.Default().Name)
+	}
+	defer ksp.End()
+
+	stemSp := ksp.Child("ddnet/stem")
+	c0 := m.convIn.Infer(sc, x)
+	stem := m.bnIn.Infer(sc, c0)
+	sc.Free(c0)
+	ag.EvalLeakyReLUInPlace(stem, m.Cfg.Slope)
+	stemSp.End()
+
+	var skipArr [8]*tensor.Tensor
+	skips := append(skipArr[:0], stem)
+	h := stem
+	for s := 0; s < m.Cfg.Stages; s++ {
+		var ssp *obs.Span
+		if ksp != nil {
+			ssp = ksp.Child("ddnet/enc" + strconv.Itoa(s))
+		}
+		hp := ag.EvalMaxPool2D(sc, h, ag.Pool2DConfig{Kernel: 3, Stride: 2, Padding: 1})
+		if s > 0 { // at s == 0, h is the stem — kept as a skip
+			sc.Free(h)
+		}
+		db := m.blocks[s].Infer(sc, hp)
+		sc.Free(hp)
+		keepDB := s < m.Cfg.Stages-1
+		if keepDB {
+			skips = append(skips, db)
+		}
+		tc := m.transC[s].Infer(sc, db)
+		if !keepDB {
+			sc.Free(db)
+		}
+		h = m.transB[s].Infer(sc, tc)
+		sc.Free(tc)
+		ag.EvalLeakyReLUInPlace(h, m.Cfg.Slope)
+		ssp.End()
+	}
+
+	for s := 0; s < m.Cfg.Stages; s++ {
+		var ssp *obs.Span
+		if ksp != nil {
+			ssp = ksp.Child("ddnet/dec" + strconv.Itoa(s))
+		}
+		ty := m.bilinearTab(h.Shape[2])
+		tx := m.bilinearTab(h.Shape[3])
+		up := ag.EvalUpsampleBilinear2D(sc, h, 2, ty, tx)
+		sc.Free(h)
+		skip := skips[len(skips)-1-s]
+		pair := [2]*tensor.Tensor{up, skip}
+		cat := ag.EvalConcat(sc, 1, pair[:])
+		sc.Free(up)
+		sc.Free(skip) // each skip has exactly one consumer
+		da := m.deconvA[s].Infer(sc, cat)
+		sc.Free(cat)
+		ab := m.deconvAB[s].Infer(sc, da)
+		sc.Free(da)
+		ag.EvalLeakyReLUInPlace(ab, m.Cfg.Slope)
+		h = m.deconvB[s].Infer(sc, ab)
+		sc.Free(ab)
+		if m.deconvBB[s] != nil {
+			bb := m.deconvBB[s].Infer(sc, h)
+			sc.Free(h)
+			ag.EvalLeakyReLUInPlace(bb, m.Cfg.Slope)
+			h = bb
+		}
+		ssp.End()
+	}
+
+	if m.Cfg.Residual {
+		ag.EvalAddInPlace(h, x) // ag.Add with the fresh operand on the left
+	}
+	return h
+}
+
+// EnhanceBatchInto enhances a batch of same-size (H, W) images in
+// [0, 1] into caller-provided output tensors, drawing all scratch from
+// mem. A warm arena makes this the zero-allocation serving hot path:
+// inputs and outputs may be long-lived caller buffers (they are never
+// pooled), and everything in between is recycled through mem.
+func (m *DDnet) EnhanceBatchInto(ctx context.Context, mem *memplan.Arena, imgs, outs []*tensor.Tensor) {
+	if len(imgs) == 0 {
+		return
+	}
+	if len(outs) != len(imgs) {
+		panic("ddnet: EnhanceBatchInto wants one output per image")
+	}
+	h, w := imgs[0].Shape[0], imgs[0].Shape[1]
+	for i, img := range imgs {
+		if img.Rank() != 2 {
+			panic("ddnet: EnhanceBatch wants rank-2 (H, W) images")
+		}
+		if img.Shape[0] != h || img.Shape[1] != w {
+			panic("ddnet: EnhanceBatch images must share one size")
+		}
+		if outs[i].Rank() != 2 || outs[i].Shape[0] != h || outs[i].Shape[1] != w {
+			panic("ddnet: EnhanceBatchInto output must match the image shape")
+		}
+	}
+	m.SetTraining(false)
+	sc := mem.NewScope()
+	x := sc.Get(len(imgs), 1, h, w)
+	for i, img := range imgs {
+		copy(x.Data[i*h*w:(i+1)*h*w], img.Data)
+	}
+	y := m.forwardEval(ctx, sc, x)
+	for i := range imgs {
+		copy(outs[i].Data, y.Data[i*h*w:(i+1)*h*w])
+		ag.EvalClampInPlace(outs[i], 0, 1)
+	}
+	sc.Close()
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"computecovid19/internal/classify"
+	"computecovid19/internal/core"
+	"computecovid19/internal/dataset"
+	"computecovid19/internal/ddnet"
+	"computecovid19/internal/memplan"
+	"computecovid19/internal/serve"
+	"computecovid19/internal/volume"
+)
+
+// MemReport is the machine-readable memory benchmark (the
+// BENCH_mem.json format): steady-state allocation rates of the two
+// inference hot paths, pooled-memory traffic, and the GC behavior of
+// the serving data plane under closed-loop load.
+type MemReport struct {
+	Schema string `json:"schema"`
+
+	EnhanceAllocsPerOp  float64 `json:"enhance_allocs_per_op"`
+	EnhanceBytesPerOp   float64 `json:"enhance_bytes_per_op"`
+	ClassifyAllocsPerOp float64 `json:"classify_allocs_per_op"`
+	ClassifyBytesPerOp  float64 `json:"classify_bytes_per_op"`
+
+	PoolHits    uint64  `json:"pool_hits"`
+	PoolMisses  uint64  `json:"pool_misses"`
+	PoolHitRate float64 `json:"pool_hit_rate"`
+
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+
+	LoadScansPerSec float64 `json:"load_scans_per_sec"`
+	LoadGCCycles    uint32  `json:"load_gc_cycles"`
+	GCPauseP50us    float64 `json:"gc_pause_p50_us"`
+	GCPauseP99us    float64 `json:"gc_pause_p99_us"`
+	GCPauseMaxus    float64 `json:"gc_pause_max_us"`
+}
+
+// MemBench measures the zero-allocation inference hot path end to end.
+// The paper's performance claim is sustained high-throughput inference
+// (§2.2, Table 4); on a managed-memory runtime the enemy of sustained
+// throughput is the allocator — per-scan garbage recruits the GC into
+// the latency tail. This benchmark pins the steady state: allocs/op and
+// B/op of a warm whole-volume enhancement and a warm segment+classify
+// pass (both 0 by construction, CI-gated via `make alloc` and the
+// benchdiff -allocs gate), the memplan pool hit rate that makes them
+// so, and the GC pause distribution while the batched inference server
+// handles closed-loop load. When outPath is non-empty the
+// machine-readable report is written there (BENCH_mem.json).
+func MemBench(cfg Config, outPath string) string {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := core.NewPipeline(ddnet.New(rng, ddnet.TinyConfig()), classify.New(rng, classify.SmallConfig()))
+	p.Warm()
+
+	cohortCfg := dataset.DefaultCohortConfig()
+	cohortCfg.Count = 4
+	cohortCfg.Seed = cfg.Seed + 1
+	cases := dataset.BuildCohort(cohortCfg)
+	v := cases[0].Volume
+
+	rep := MemReport{Schema: "ccbench/mem/v1"}
+
+	// Steady-state allocation rates of the two hot paths, measured the
+	// same way the alloc-gate tests assert them.
+	out := volume.New(v.D, v.H, v.W)
+	ctx := context.Background()
+	enhance := func() { p.EnhanceInto(ctx, v, out) }
+	classifyOp := func() { p.RecycleResult(p.Classify(v)) }
+	enhance()
+	classifyOp()
+	rep.EnhanceAllocsPerOp = testing.AllocsPerRun(10, enhance)
+	rep.ClassifyAllocsPerOp = testing.AllocsPerRun(10, classifyOp)
+	rep.EnhanceBytesPerOp = bytesPerOp(10, enhance)
+	rep.ClassifyBytesPerOp = bytesPerOp(10, classifyOp)
+
+	// Serving load: GC cycles and pause distribution while the batched
+	// inference server handles closed-loop traffic.
+	requests, concurrency := 64, 16
+	if cfg.Quick {
+		requests, concurrency = 24, 8
+	}
+	s, err := serve.New(serve.Config{
+		Pipeline: p, Workers: 4, QueueDepth: 2 * requests,
+		BatchSize: cohortCfg.Depth, BatchTimeout: 2 * time.Millisecond,
+		CacheSize: -1, // unique volumes; measure the pipeline, not the cache
+	})
+	if err != nil {
+		return "mem bench: " + err.Error()
+	}
+	s.Start()
+	vols := make([]*volume.Volume, len(cases))
+	for i, c := range cases {
+		vols[i] = c.Volume
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	loadStart := time.Now()
+	load, err := serve.RunLoad(s, serve.LoadOptions{
+		Requests:    requests,
+		Concurrency: concurrency,
+		Volumes:     vols,
+		Perturb:     true,
+		Seed:        cfg.Seed + 2,
+	})
+	loadElapsed := time.Since(loadStart)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	drainErr := s.Drain(drainCtx)
+	cancel()
+	if err != nil {
+		return "mem bench: " + err.Error()
+	}
+	runtime.ReadMemStats(&after)
+	rep.LoadScansPerSec = load.RPS
+	rep.LoadGCCycles = after.NumGC - before.NumGC
+	rep.GCPauseP50us, rep.GCPauseP99us, rep.GCPauseMaxus = pausePercentiles(&before, &after)
+
+	st := p.Arena().Stats()
+	rep.PoolHits, rep.PoolMisses, rep.PoolHitRate = st.Hits, st.Misses, st.HitRate()
+	memplan.SampleRuntime() // refresh the mem_* gauges for -metrics dumps
+	rep.HeapInuseBytes = after.HeapInuse
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return "mem bench: " + err.Error()
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return "mem bench: " + err.Error()
+		}
+	}
+
+	t := &table{header: []string{"metric", "value"}}
+	t.add("warm EnhanceInto", fmt.Sprintf("%.0f allocs/op, %.0f B/op", rep.EnhanceAllocsPerOp, rep.EnhanceBytesPerOp))
+	t.add("warm Classify+Recycle", fmt.Sprintf("%.0f allocs/op, %.0f B/op", rep.ClassifyAllocsPerOp, rep.ClassifyBytesPerOp))
+	t.add("pool traffic", fmt.Sprintf("%d hits / %d misses (%.1f%% hit rate)",
+		rep.PoolHits, rep.PoolMisses, 100*rep.PoolHitRate))
+	t.add("heap in use", fmt.Sprintf("%.1f MiB", float64(rep.HeapInuseBytes)/(1<<20)))
+	t.add("serving load", fmt.Sprintf("%d requests, %.2f scans/s over %.1fs",
+		load.Requests, rep.LoadScansPerSec, loadElapsed.Seconds()))
+	t.add("GC during load", fmt.Sprintf("%d cycles", rep.LoadGCCycles))
+	t.add("GC pause p50 / p99 / max", fmt.Sprintf("%.0f / %.0f / %.0f µs",
+		rep.GCPauseP50us, rep.GCPauseP99us, rep.GCPauseMaxus))
+
+	var b strings.Builder
+	b.WriteString("Memory benchmark — internal/memplan (pooled inference memory)\n")
+	fmt.Fprintf(&b, "Demo-scale pipeline on %d×%d×%d volumes; allocation rates are warm steady state.\n\n",
+		cohortCfg.Depth, cohortCfg.Size, cohortCfg.Size)
+	b.WriteString(t.String())
+	if drainErr != nil {
+		fmt.Fprintf(&b, "drain error: %v\n", drainErr)
+	}
+	if outPath != "" {
+		fmt.Fprintf(&b, "\nwrote %s\n", outPath)
+	}
+	return b.String()
+}
+
+// bytesPerOp measures mean heap bytes allocated per fn call via the
+// monotonic TotalAlloc counter.
+func bytesPerOp(runs int, fn func()) float64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.TotalAlloc-before.TotalAlloc) / float64(runs)
+}
+
+// pausePercentiles extracts the stop-the-world pauses of the GC cycles
+// between two MemStats snapshots (clamped to the runtime's 256-entry
+// ring) and returns p50/p99/max in microseconds.
+func pausePercentiles(before, after *runtime.MemStats) (p50, p99, pmax float64) {
+	from := before.NumGC
+	if after.NumGC-from > 256 {
+		from = after.NumGC - 256
+	}
+	var pauses []float64
+	for k := from + 1; k <= after.NumGC; k++ {
+		pauses = append(pauses, float64(after.PauseNs[(k+255)%256])/1e3)
+	}
+	if len(pauses) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(pauses)
+	pct := func(q float64) float64 {
+		i := int(q * float64(len(pauses)-1))
+		return pauses[i]
+	}
+	return pct(0.50), pct(0.99), pauses[len(pauses)-1]
+}

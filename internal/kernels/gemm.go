@@ -1,6 +1,9 @@
 package kernels
 
-import "computecovid19/internal/parallel"
+import (
+	"computecovid19/internal/memplan"
+	"computecovid19/internal/parallel"
+)
 
 // The gemm rung restructures convolution the way cuDNN-class CPU/GPU
 // backends do: im2col turns each output pixel's receptive field into a
@@ -41,20 +44,45 @@ func convGEMM(x, w, out []float32, s ConvShape, workers int) {
 		tile = 64
 	}
 	nTiles := (cols + tile - 1) / tile
+	// Resolve the worker count with parallel.For's own rules so the
+	// single-worker case runs inline without materializing a closure —
+	// on one proc (testing.AllocsPerRun) the hot path stays
+	// allocation-free; the staged panels come from the memory pool
+	// either way.
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	if workers > nTiles {
+		workers = nTiles
+	}
+	if workers == 1 {
+		gemmTiles(x, w, out, s, r, cols, tile, 0, nTiles)
+		return
+	}
 	parallel.For(nTiles, workers, func(lo, hi int) {
-		panel := make([]float32, r*tile)
-		for t := lo; t < hi; t++ {
-			c0 := t * tile
-			n := cols - c0
-			if n > tile {
-				n = tile
-			}
-			stagePatchTile(x, panel, s, c0, n, tile)
-			for co := 0; co < s.OutC; co++ {
-				gemmRow(w[co*r:(co+1)*r], panel, out[co*cols+c0:co*cols+c0+n], tile)
-			}
-		}
+		gemmTiles(x, w, out, s, r, cols, tile, lo, hi)
 	})
+}
+
+// gemmTiles stages and multiplies the column tiles [lo, hi), with the
+// per-worker panel drawn from the global memory pool. The panel is not
+// zeroed on loan: stagePatchTile fully writes [0, n) of every row it
+// stages and gemmRow reads exactly that range, so no stale element is
+// ever read.
+func gemmTiles(x, w, out []float32, s ConvShape, r, cols, tile, lo, hi int) {
+	panel := memplan.GetFloats(r * tile)
+	for t := lo; t < hi; t++ {
+		c0 := t * tile
+		n := cols - c0
+		if n > tile {
+			n = tile
+		}
+		stagePatchTile(x, panel, s, c0, n, tile)
+		for co := 0; co < s.OutC; co++ {
+			gemmRow(w[co*r:(co+1)*r], panel, out[co*cols+c0:co*cols+c0+n], tile)
+		}
+	}
+	memplan.PutFloats(panel)
 }
 
 // deconvGEMM computes a stride-1 "same" transposed convolution with
@@ -64,7 +92,8 @@ func convGEMM(x, w, out []float32, s ConvShape, workers int) {
 // K) flipped layout and the tiled GEMM path does the rest.
 func deconvGEMM(x, w, out []float32, s ConvShape, workers int) {
 	kk := s.K * s.K
-	wc := make([]float32, s.OutC*s.InC*kk)
+	// Pooled scratch; the flip loop below writes every element.
+	wc := memplan.GetFloats(s.OutC * s.InC * kk)
 	for ci := 0; ci < s.InC; ci++ {
 		for co := 0; co < s.OutC; co++ {
 			src := w[(ci*s.OutC+co)*kk : (ci*s.OutC+co+1)*kk]
@@ -75,6 +104,7 @@ func deconvGEMM(x, w, out []float32, s ConvShape, workers int) {
 		}
 	}
 	convGEMM(x, wc, out, s, workers)
+	memplan.PutFloats(wc)
 }
 
 // stagePatchTile writes the im2col panel for output pixels

@@ -1,0 +1,109 @@
+package memplan
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"computecovid19/internal/tensor"
+)
+
+// Debug mode (tensor.SetMemDebug / CC_MEMDEBUG=1): every buffer
+// entering a free list is NaN-poisoned and tracked in a free-set keyed
+// by its backing array; a second release of the same storage panics
+// immediately, and the next reuse verifies the poison is intact so a
+// use-after-release *write* panics at the point of reuse. Reads of
+// released memory surface as NaN propagation in results.
+//
+// Tracking is keyed on the full-capacity slice's first element, which
+// is stable across the reslicing Get/Release performs. Buffers released
+// while debug was off are simply not tracked — toggling mid-run never
+// false-positives.
+
+var (
+	poison = math.Float32frombits(tensor.PoisonBits)
+
+	debugMu      sync.Mutex
+	debugFloats  = map[*float32]int{} // free-set: poisoned length
+	debugBools   = map[*bool]struct{}{}
+	debugTracked atomic.Int64 // len(debugFloats), checked lock-free on take
+	trackedBools atomic.Int64
+)
+
+// debugPut marks a full-capacity slice as released: panics on double
+// release, then poison-fills it. No-op unless debug mode is on.
+func debugPut(data []float32) {
+	if !tensor.MemDebug() || len(data) == 0 {
+		return
+	}
+	key := &data[0]
+	debugMu.Lock()
+	if _, dup := debugFloats[key]; dup {
+		debugMu.Unlock()
+		panic("memplan: double release of pooled buffer (CC_MEMDEBUG)")
+	}
+	debugFloats[key] = len(data)
+	debugMu.Unlock()
+	debugTracked.Add(1)
+	for i := range data {
+		data[i] = poison
+	}
+}
+
+// debugTake verifies and untracks a slice leaving the free lists. A
+// buffer that was poisoned on release must still be all-poison now;
+// anything else means someone wrote through a stale reference.
+func debugTake(data []float32) {
+	if debugTracked.Load() == 0 || len(data) == 0 {
+		return
+	}
+	key := &data[0]
+	debugMu.Lock()
+	n, ok := debugFloats[key]
+	if ok {
+		delete(debugFloats, key)
+	}
+	debugMu.Unlock()
+	if !ok {
+		return
+	}
+	debugTracked.Add(-1)
+	if n > len(data) {
+		n = len(data)
+	}
+	for _, v := range data[:n] {
+		if math.Float32bits(v) != tensor.PoisonBits {
+			panic("memplan: use-after-release write detected on pooled buffer (CC_MEMDEBUG)")
+		}
+	}
+}
+
+func debugPutBools(data []bool) {
+	if !tensor.MemDebug() || len(data) == 0 {
+		return
+	}
+	key := &data[0]
+	debugMu.Lock()
+	if _, dup := debugBools[key]; dup {
+		debugMu.Unlock()
+		panic("memplan: double release of pooled bool buffer (CC_MEMDEBUG)")
+	}
+	debugBools[key] = struct{}{}
+	debugMu.Unlock()
+	trackedBools.Add(1)
+}
+
+func debugTakeBools(data []bool) {
+	if trackedBools.Load() == 0 || len(data) == 0 {
+		return
+	}
+	key := &data[0]
+	debugMu.Lock()
+	if _, ok := debugBools[key]; ok {
+		delete(debugBools, key)
+		debugMu.Unlock()
+		trackedBools.Add(-1)
+		return
+	}
+	debugMu.Unlock()
+}

@@ -14,8 +14,6 @@
 package segment
 
 import (
-	"sort"
-
 	"computecovid19/internal/volume"
 )
 
@@ -49,46 +47,16 @@ func DefaultOptions() Options {
 }
 
 // Lungs segments the lung fields of an HU volume and returns a D*H*W
-// mask (true = lung).
+// mask (true = lung). The pipeline: Hounsfield thresholding, clipping
+// candidate air to the body hull (a boundary flood fill is the
+// textbook method but leaks through chest walls thinner than one voxel
+// on coarse grids), keeping the largest interior air components (the
+// lungs), morphological closing, and per-slice hole filling. It runs
+// on a throwaway Scratch; repeated callers should hold a Scratch and
+// use LungsInto, which computes the identical mask from pooled memory.
 func Lungs(v *volume.Volume, opt Options) []bool {
-	n := len(v.Data)
-	air := make([]bool, n)
-	for i, hu := range v.Data {
-		air[i] = float64(hu) < opt.AirThresholdHU
-	}
-
-	// Remove the air outside the body. A boundary flood fill is the
-	// textbook method but leaks through chest walls thinner than one
-	// voxel on coarse grids, so we instead clip candidate air to the
-	// body hull: per slice, a voxel counts as inside when it lies within
-	// both the row span and the column span of dense (non-air) tissue.
-	inside := bodyHull(v.D, v.H, v.W, air)
-	cand := make([]bool, n)
-	for i := range cand {
-		cand[i] = air[i] && inside[i]
-	}
-
-	// Keep the largest interior air components: the lungs.
-	comps := components(v.D, v.H, v.W, cand)
-	sort.Slice(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
-	mask := make([]bool, n)
-	kept := 0
-	for _, c := range comps {
-		if len(c) < opt.MinComponentVoxels || kept >= opt.MaxComponents {
-			break
-		}
-		for _, idx := range c {
-			mask[idx] = true
-		}
-		kept++
-	}
-
-	if opt.ClosingRadius > 0 {
-		mask = Close3D(mask, v.D, v.H, v.W, opt.ClosingRadius)
-	}
-	if opt.FillHoles {
-		fillHolesPerSlice(mask, v.D, v.H, v.W)
-	}
+	mask := make([]bool, len(v.Data))
+	NewScratch(nil).LungsInto(v, opt, mask)
 	return mask
 }
 
@@ -122,118 +90,6 @@ func Dice(a, b []bool) float64 {
 		return 1
 	}
 	return 2 * float64(inter) / float64(sum)
-}
-
-// bodyHull approximates the body interior per slice: a voxel is inside
-// when dense tissue exists both above and below it in its column AND on
-// both sides of it in its row. The hull is shrunk by one voxel so the
-// body surface itself is excluded.
-func bodyHull(d, h, w int, air []bool) []bool {
-	inside := make([]bool, d*h*w)
-	for z := 0; z < d; z++ {
-		base := z * h * w
-		// Column spans of dense tissue.
-		colLo := make([]int, w)
-		colHi := make([]int, w)
-		for x := 0; x < w; x++ {
-			colLo[x], colHi[x] = h, -1
-			for y := 0; y < h; y++ {
-				if !air[base+y*w+x] {
-					if y < colLo[x] {
-						colLo[x] = y
-					}
-					colHi[x] = y
-				}
-			}
-		}
-		for y := 0; y < h; y++ {
-			// Row span of dense tissue.
-			rowLo, rowHi := w, -1
-			for x := 0; x < w; x++ {
-				if !air[base+y*w+x] {
-					if x < rowLo {
-						rowLo = x
-					}
-					rowHi = x
-				}
-			}
-			for x := 0; x < w; x++ {
-				inside[base+y*w+x] = x > rowLo && x < rowHi &&
-					y > colLo[x] && y < colHi[x]
-			}
-		}
-	}
-	return inside
-}
-
-// floodFromBoundary marks every voxel reachable from the lateral (x/y)
-// volume boundary through `open` voxels (6-connectivity). The z faces
-// are deliberately not seeded: chest scans routinely crop the lungs at
-// the first and last slice, and seeding there would flood the lung
-// fields themselves.
-func floodFromBoundary(d, h, w int, open []bool) []bool {
-	seen := make([]bool, d*h*w)
-	var queue []int
-	push := func(idx int) {
-		if open[idx] && !seen[idx] {
-			seen[idx] = true
-			queue = append(queue, idx)
-		}
-	}
-	for z := 0; z < d; z++ {
-		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				if y == 0 || y == h-1 || x == 0 || x == w-1 {
-					push((z*h+y)*w + x)
-				}
-			}
-		}
-	}
-	bfs(d, h, w, open, seen, &queue)
-	return seen
-}
-
-// components returns the 6-connected components of mask as voxel index
-// lists.
-func components(d, h, w int, mask []bool) [][]int {
-	seen := make([]bool, d*h*w)
-	var comps [][]int
-	for start, m := range mask {
-		if !m || seen[start] {
-			continue
-		}
-		seen[start] = true
-		queue := []int{start}
-		var comp []int
-		for len(queue) > 0 {
-			idx := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
-			comp = append(comp, idx)
-			forNeighbors(d, h, w, idx, func(n int) {
-				if mask[n] && !seen[n] {
-					seen[n] = true
-					queue = append(queue, n)
-				}
-			})
-		}
-		comps = append(comps, comp)
-	}
-	return comps
-}
-
-func bfs(d, h, w int, open, seen []bool, queue *[]int) {
-	q := *queue
-	for len(q) > 0 {
-		idx := q[len(q)-1]
-		q = q[:len(q)-1]
-		forNeighbors(d, h, w, idx, func(n int) {
-			if open[n] && !seen[n] {
-				seen[n] = true
-				q = append(q, n)
-			}
-		})
-	}
-	*queue = q
 }
 
 func forNeighbors(d, h, w, idx int, visit func(n int)) {
@@ -300,23 +156,4 @@ func dilateOnce(mask []bool, d, h, w int) []bool {
 		forNeighbors(d, h, w, idx, func(n int) { out[n] = true })
 	}
 	return out
-}
-
-// fillHolesPerSlice sets to true any false region of a slice that does
-// not touch the slice border (e.g. consolidations fully surrounded by
-// lung).
-func fillHolesPerSlice(mask []bool, d, h, w int) {
-	for z := 0; z < d; z++ {
-		slice := mask[z*h*w : (z+1)*h*w]
-		open := make([]bool, h*w)
-		for i, m := range slice {
-			open[i] = !m
-		}
-		reach := floodFromBoundary(1, h, w, open)
-		for i := range slice {
-			if !slice[i] && !reach[i] {
-				slice[i] = true
-			}
-		}
-	}
 }

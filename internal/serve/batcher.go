@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"computecovid19/internal/ddnet"
+	"computecovid19/internal/memplan"
 	"computecovid19/internal/obs"
 	"computecovid19/internal/tensor"
 )
@@ -22,6 +23,7 @@ import (
 // results.
 type batcher struct {
 	net     *ddnet.DDnet
+	mem     *memplan.Arena // activations, output slices, and retired inputs
 	size    int
 	timeout time.Duration
 	reqs    chan enhReq
@@ -42,6 +44,7 @@ type enhReq struct {
 func newBatcher(net *ddnet.DDnet, size int, timeout time.Duration) *batcher {
 	return &batcher{
 		net:     net,
+		mem:     memplan.New(),
 		size:    size,
 		timeout: timeout,
 		// Room for several in-flight scans' worth of slices before
@@ -91,11 +94,21 @@ func (b *batcher) run() {
 			sp.SetAttr("scans", len(seen))
 		}
 		start := time.Now()
+		h, w := pending[0].img.Shape[0], pending[0].img.Shape[1]
 		imgs := make([]*tensor.Tensor, len(pending))
+		outs := make([]*tensor.Tensor, len(pending))
 		for i, r := range pending {
 			imgs[i] = r.img
+			outs[i] = b.mem.Get(h, w)
 		}
-		outs := b.net.EnhanceBatchCtx(obs.ContextWithSpan(context.Background(), sp), imgs)
+		// The forward pass and the output slices draw on the batcher
+		// arena; the submitted inputs retire into it afterwards (workers
+		// hand ownership over at submit). The receiving worker releases
+		// each output slice into its own arena once copied out.
+		b.net.EnhanceBatchInto(obs.ContextWithSpan(context.Background(), sp), b.mem, imgs, outs)
+		for _, r := range pending {
+			b.mem.Release(r.img)
+		}
 		enhanceBatchSeconds.Observe(time.Since(start).Seconds())
 		batchSizeHist.Observe(float64(len(pending)))
 		for i, r := range pending {

@@ -39,6 +39,7 @@ import (
 
 	"computecovid19/internal/core"
 	"computecovid19/internal/kernels"
+	"computecovid19/internal/memplan"
 	"computecovid19/internal/obs"
 	"computecovid19/internal/volume"
 )
@@ -235,6 +236,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		s.slo.Export()
+		memplan.SampleRuntime() // refresh mem_* gauges at scrape time
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		obs.Default.WritePrometheus(w)
 	})

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"computecovid19/internal/ctsim"
+	"computecovid19/internal/memplan"
 	"computecovid19/internal/obs"
 	"computecovid19/internal/tensor"
 	"computecovid19/internal/volume"
@@ -18,13 +19,18 @@ import (
 // worker itself via core.Pipeline.ClassifyCtx.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	// Each worker stages its normalized slices from a private arena, so
+	// workers never contend on pooled memory; steady-state scans of one
+	// geometry circulate the same buffers between the worker and the
+	// batcher without touching the heap.
+	mem := memplan.New()
 	for j := range s.queue {
 		queueDepth.Add(-1)
-		s.process(j)
+		s.process(j, mem)
 	}
 }
 
-func (s *Server) process(j *job) {
+func (s *Server) process(j *job, mem *memplan.Arena) {
 	// The queue span ends at dequeue: its duration is the admission
 	// wait. The process span covers this worker's share of the request.
 	j.qspan.End()
@@ -51,9 +57,17 @@ func (s *Server) process(j *job) {
 		r := s.cfg.Process(j.vol)
 		res = ScanResult{Probability: r.Probability, Positive: r.Positive}
 	} else {
-		enhanced := s.enhanceVolume(ctx, j.vol)
+		enhanced := s.enhanceVolume(ctx, mem, j.vol)
 		r := s.cfg.Pipeline.ClassifyCtx(ctx, enhanced)
 		res = ScanResult{Probability: r.Probability, Positive: r.Positive}
+		// The lung mask and (when enhancement ran) the enhanced volume
+		// are this worker's to recycle. j.vol is the client's payload —
+		// never pooled — so the no-enhancer and cache-hit paths stay
+		// copy-safe.
+		s.cfg.Pipeline.RecycleResult(r)
+		if enhanced != j.vol {
+			s.cfg.Pipeline.RecycleVolume(enhanced)
+		}
 	}
 
 	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
@@ -92,10 +106,14 @@ func (s *Server) endJobTrace(j *job, sp *obs.Span, failed bool, reason string) {
 // micro-batcher: all D slices are submitted up front (so one scan can
 // fill a batch by itself) and collected in order. Every slice carries
 // the scan's enhance-span identity, which the batch span links — the
-// fan-in edge connecting N request traces to one batch trace. Without
-// an enhancer the input volume passes through unchanged, matching
-// core.Pipeline.Enhance semantics.
-func (s *Server) enhanceVolume(ctx context.Context, v *volume.Volume) *volume.Volume {
+// fan-in edge connecting N request traces to one batch trace. Input
+// slices are staged from the worker arena (ownership moves to the
+// batcher at submit), enhanced slices come back from the batcher arena
+// and are released here after the copy-out, and the output volume comes
+// from the pipeline's recycle pool. Without an enhancer the input
+// volume passes through unchanged, matching core.Pipeline.Enhance
+// semantics.
+func (s *Server) enhanceVolume(ctx context.Context, mem *memplan.Arena, v *volume.Volume) *volume.Volume {
 	if s.batcher == nil {
 		return v
 	}
@@ -106,20 +124,21 @@ func (s *Server) enhanceVolume(ctx context.Context, v *volume.Volume) *volume.Vo
 	p := s.cfg.Pipeline
 	outs := make([]chan *tensor.Tensor, v.D)
 	for z := 0; z < v.D; z++ {
-		img := tensor.New(v.H, v.W)
+		img := mem.Get(v.H, v.W)
 		sl := v.Slice(z)
 		for i, hu := range sl {
 			img.Data[i] = float32(ctsim.NormalizeHU(float64(hu), p.WindowLo, p.WindowHi))
 		}
 		outs[z] = s.batcher.submit(img, sc)
 	}
-	out := volume.New(v.D, v.H, v.W)
+	out := p.GetVolume(v.D, v.H, v.W)
 	for z := 0; z < v.D; z++ {
 		enh := <-outs[z]
 		dst := out.Slice(z)
 		for i, val := range enh.Data {
 			dst[i] = float32(ctsim.DenormalizeHU(float64(val), p.WindowLo, p.WindowHi))
 		}
+		mem.Release(enh)
 	}
 	return out
 }

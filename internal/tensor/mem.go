@@ -1,0 +1,48 @@
+package tensor
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Allocator supplies tensor storage with explicit lifetime: Get returns
+// a zeroed tensor of the given shape, Release returns its storage for
+// reuse. internal/memplan provides the pooled implementation; nn/ddnet
+// inference paths accept one so a warm pipeline stops touching the GC.
+type Allocator interface {
+	Get(shape ...int) *Tensor
+	Release(t *Tensor)
+}
+
+// NewIn allocates a zeroed tensor from alloc, or from the heap when
+// alloc is nil — the pooled twin of New.
+func NewIn(alloc Allocator, shape ...int) *Tensor {
+	if alloc == nil {
+		return New(shape...)
+	}
+	return alloc.Get(shape...)
+}
+
+// PoisonBits is the float32 bit pattern pooled allocators fill released
+// buffers with when memory debugging is on: a quiet NaN with a
+// recognizable payload, so any use-after-release read propagates NaNs
+// and any write is detected on the next pooled Get.
+const PoisonBits uint32 = 0x7fc0dead
+
+// memDebug gates release-poisoning and use-after-release checks in
+// pooled allocators. Initialized from CC_MEMDEBUG=1 (CI race and chaos
+// jobs set it); toggleable at runtime for tests.
+var memDebug atomic.Bool
+
+func init() {
+	if os.Getenv("CC_MEMDEBUG") == "1" {
+		memDebug.Store(true)
+	}
+}
+
+// MemDebug reports whether pooled-memory debugging is enabled.
+func MemDebug() bool { return memDebug.Load() }
+
+// SetMemDebug enables or disables pooled-memory debugging and returns
+// the previous setting (for test save/restore).
+func SetMemDebug(on bool) bool { return memDebug.Swap(on) }

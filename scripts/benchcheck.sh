@@ -2,11 +2,17 @@
 # benchcheck: benchmark-regression gate.
 #
 # Checks out a baseline ref into a temporary git worktree, runs the
-# kernel and observability benchmarks in both trees with identical
-# settings, and fails when HEAD regresses any benchmark present in both
-# by more than THRESHOLD percent ns/op. Benchmarks that exist on only
-# one side (renamed or newly added) are reported and skipped, so adding
-# a rung never breaks the gate.
+# kernel, observability, and pipeline benchmarks in both trees with
+# identical settings, and fails when HEAD regresses any benchmark
+# present in both by more than THRESHOLD percent ns/op. Benchmarks that
+# exist on only one side (renamed or newly added) are reported and
+# skipped, so adding a rung never breaks the gate.
+#
+# The runs carry -benchmem, and a second benchdiff pass in -allocs mode
+# gates B/op and allocs/op EXACTLY (no threshold, no floor) on the
+# pooled hot-path benchmarks (names matching "Pooled"): allocation
+# counts are deterministic, so a single new alloc/op on the
+# zero-allocation inference path fails the gate.
 #
 # Knobs (environment):
 #   BASE_REF    baseline ref (default: origin/main if it exists, else HEAD~1)
@@ -18,7 +24,8 @@
 #   BENCHTIME   go test -benchtime per case (default: 200ms)
 #   COUNT       go test -count; the gate compares per-benchmark medians
 #               across runs to suppress scheduler noise (default: 5)
-#   PKGS        packages to benchmark (default: ./internal/kernels/ ./internal/obs/)
+#   PKGS        packages to benchmark (default: ./internal/kernels/
+#               ./internal/obs/ ./internal/core/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,7 +41,7 @@ THRESHOLD="${THRESHOLD:-15}"
 FLOOR="${FLOOR:-20}"
 BENCHTIME="${BENCHTIME:-200ms}"
 COUNT="${COUNT:-5}"
-PKGS="${PKGS:-./internal/kernels/ ./internal/obs/}"
+PKGS="${PKGS:-./internal/kernels/ ./internal/obs/ ./internal/core/}"
 
 tmp="$(mktemp -d)"
 cleanup() {
@@ -47,7 +54,16 @@ echo "benchcheck: baseline $BASE_REF vs HEAD (threshold ${THRESHOLD}%, floor ${F
 git worktree add --quiet --detach "$tmp/base" "$BASE_REF"
 
 run_bench() { # $1 = tree, $2 = output file
-    (cd "$1" && go test -run '^$' -bench . -benchtime="$BENCHTIME" -count="$COUNT" $PKGS) >"$2"
+    # A package may not exist in the baseline tree yet; benchmark the
+    # intersection so newly added benchmark packages never break the gate.
+    (
+        cd "$1"
+        pkgs=""
+        for p in $PKGS; do
+            if [ -d "$p" ]; then pkgs="$pkgs $p"; fi
+        done
+        go test -run '^$' -bench . -benchmem -benchtime="$BENCHTIME" -count="$COUNT" $pkgs
+    ) >"$2"
 }
 
 run_bench "$tmp/base" "$tmp/base.txt"
@@ -56,3 +72,4 @@ run_bench . "$tmp/head.txt"
 # benchdiff always runs from HEAD's tree, so the baseline does not need
 # to contain the tool.
 go run ./cmd/benchdiff -threshold "$THRESHOLD" -floor "$FLOOR" "$tmp/base.txt" "$tmp/head.txt"
+go run ./cmd/benchdiff -allocs "$tmp/base.txt" "$tmp/head.txt"
