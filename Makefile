@@ -60,17 +60,24 @@ lint-tools:
 	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 
-# Chaos suite: every fault-injection test (rank crash, message drop,
-# corrupt payload, delay, straggler, elastic recovery) twice under the
-# race detector — the CI chaos job runs exactly this.
-chaos:
-	$(GO) test ./internal/distrib/... -run Fault -count=2 -race
+# Repetition counts for the chaos suites; the nightly CI lane raises
+# them (more scheduling interleavings per run), the PR lane keeps the
+# defaults fast.
+CHAOS_COUNT ?= 2
+CLUSTER_CHAOS_COUNT ?= 2
 
-# Cluster chaos: the replica-kill-mid-load test (3 replicas behind the
-# gateway, one killed and restarted, zero client-visible failures)
-# under the race detector — the CI cluster job runs exactly this.
+# Chaos suite: every fault-injection test (rank crash, message drop,
+# corrupt payload, delay, straggler, elastic recovery) repeated under
+# the race detector — the CI nightly chaos job runs exactly this.
+chaos:
+	$(GO) test ./internal/distrib/... -run Fault -count=$(CHAOS_COUNT) -race
+
+# Cluster chaos: the replica-kill-mid-load tests (3 replicas behind the
+# gateway, one killed and restarted, zero client-visible failures —
+# unsharded and scatter/gather-sharded) under the race detector — the
+# CI nightly cluster job runs exactly this.
 cluster-chaos:
-	$(GO) test ./internal/cluster/ -run Chaos -count=2 -race -v
+	$(GO) test ./internal/cluster/ -run Chaos -count=$(CLUSTER_CHAOS_COUNT) -race -v
 
 # Coverage gate: profile internal/distrib and fail below
 # DISTRIB_MIN_COVER percent covered statements.

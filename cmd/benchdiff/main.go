@@ -20,9 +20,14 @@
 // path). Allocation counts are deterministic where timings are not, so
 // a single new alloc/op on a pooled hot path fails the gate.
 //
-// Usage: benchdiff [-threshold 15] [-floor 20] base.txt head.txt
+// With -md FILE the same comparison is also appended to FILE as a
+// GitHub-flavored markdown table — point it at $GITHUB_STEP_SUMMARY and
+// the gate's verdict renders on the workflow run page without digging
+// through logs. The text output and exit code are unchanged.
 //
-//	benchdiff -allocs [-allocpattern Pooled] base.txt head.txt
+// Usage: benchdiff [-threshold 15] [-floor 20] [-md summary.md] base.txt head.txt
+//
+//	benchdiff -allocs [-allocpattern Pooled] [-md summary.md] base.txt head.txt
 package main
 
 import (
@@ -121,36 +126,89 @@ func commonNames(base, head map[string]float64) []string {
 	return names
 }
 
+// mdWriter accumulates a markdown section and appends it to a summary
+// file (GITHUB_STEP_SUMMARY) on flush. A nil receiver is a no-op, so
+// call sites need no "-md given?" branches.
+type mdWriter struct {
+	path  string
+	lines []string
+}
+
+func newMDWriter(path string) *mdWriter {
+	if path == "" {
+		return nil
+	}
+	return &mdWriter{path: path}
+}
+
+func (w *mdWriter) add(format string, args ...any) {
+	if w == nil {
+		return
+	}
+	w.lines = append(w.lines, fmt.Sprintf(format, args...))
+}
+
+func (w *mdWriter) flush() {
+	if w == nil {
+		return
+	}
+	f, err := os.OpenFile(w.path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: -md:", err)
+		return
+	}
+	defer f.Close()
+	for _, l := range w.lines {
+		fmt.Fprintln(f, l)
+	}
+	fmt.Fprintln(f)
+}
+
 // gateAllocs is the -allocs mode: exact B/op and allocs/op comparison
 // on pattern-matching benchmarks. Returns the number of regressions.
-func gateAllocs(baseSamples, headSamples map[string][]sample, pattern *regexp.Regexp) int {
+func gateAllocs(baseSamples, headSamples map[string][]sample, pattern *regexp.Regexp, md *mdWriter) int {
 	baseSamples, headSamples = withMem(baseSamples), withMem(headSamples)
 	allocs := func(s sample) float64 { return s.allocs }
 	bytes := func(s sample) float64 { return s.bytes }
 	baseA, headA := fold(baseSamples, allocs), fold(headSamples, allocs)
 	baseB, headB := fold(baseSamples, bytes), fold(headSamples, bytes)
 
+	md.add("### Allocation gate (`%s`, exact)", pattern)
+	md.add("")
+	md.add("| benchmark | allocs/op | B/op | status |")
+	md.add("|---|---|---|---|")
 	var matched, regressions int
 	for _, name := range commonNames(baseA, headA) {
 		if !pattern.MatchString(name) {
 			continue
 		}
 		matched++
-		mark := " "
+		mark, status := " ", "ok"
 		if headA[name] > baseA[name] || headB[name] > baseB[name] {
-			mark = "!"
+			mark, status = "!", "**REGRESSED**"
 			regressions++
 		}
 		fmt.Printf("%s %-60s %8.0f -> %8.0f allocs/op  %10.0f -> %10.0f B/op\n",
 			mark, name, baseA[name], headA[name], baseB[name], headB[name])
+		md.add("| `%s` | %.0f → %.0f | %.0f → %.0f | %s |",
+			name, baseA[name], headA[name], baseB[name], headB[name], status)
 	}
 	if matched == 0 {
 		fmt.Printf("benchdiff: no common -benchmem benchmarks match %q; nothing to gate\n", pattern)
+		md.add("")
+		md.add("No common `-benchmem` benchmarks matched; nothing gated.")
+		md.flush()
 		return 0
 	}
 	if regressions == 0 {
 		fmt.Printf("benchdiff: %d benchmark(s) hold their allocation budget exactly\n", matched)
+		md.add("")
+		md.add("%d benchmark(s) hold their allocation budget exactly.", matched)
+	} else {
+		md.add("")
+		md.add("**%d benchmark(s) allocate more than baseline (zero tolerance).**", regressions)
 	}
+	md.flush()
 	return regressions
 }
 
@@ -159,11 +217,13 @@ func main() {
 	floor := flag.Float64("floor", 20, "noise floor: ignore regressions smaller than this many ns/op")
 	allocsMode := flag.Bool("allocs", false, "gate B/op and allocs/op exactly instead of ns/op")
 	allocPattern := flag.String("allocpattern", "Pooled", "benchmark name regexp the -allocs gate applies to")
+	mdPath := flag.String("md", "", "append the comparison as a markdown table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-floor ns] [-allocs [-allocpattern re]] base.txt head.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-floor ns] [-md file] [-allocs [-allocpattern re]] base.txt head.txt")
 		os.Exit(2)
 	}
+	md := newMDWriter(*mdPath)
 	baseSamples, err := parse(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
@@ -181,7 +241,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchdiff: bad -allocpattern:", err)
 			os.Exit(2)
 		}
-		if n := gateAllocs(baseSamples, headSamples, pat); n > 0 {
+		if n := gateAllocs(baseSamples, headSamples, pat, md); n > 0 {
 			fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) allocate more than baseline (zero tolerance)\n", n)
 			os.Exit(1)
 		}
@@ -192,37 +252,53 @@ func main() {
 	base, head := fold(baseSamples, ns), fold(headSamples, ns)
 	names := commonNames(base, head)
 
+	md.add("### Benchmark regression gate (threshold %.0f%%, floor %.0f ns/op)", *threshold, *floor)
+	md.add("")
+	md.add("| benchmark | base ns/op | head ns/op | Δ | status |")
+	md.add("|---|---|---|---|---|")
 	var regressions int
 	for _, name := range names {
 		b, h := base[name], head[name]
 		pct := (h - b) / b * 100
-		mark := " "
+		mark, status := " ", "ok"
 		if pct > *threshold && h-b > *floor {
-			mark = "!"
+			mark, status = "!", "**REGRESSED**"
 			regressions++
 		}
 		fmt.Printf("%s %-60s %12.1f -> %12.1f ns/op  %+7.1f%%\n", mark, name, b, h, pct)
+		md.add("| `%s` | %.1f | %.1f | %+.1f%% | %s |", name, b, h, pct, status)
 	}
 	for name := range base {
 		if _, ok := head[name]; !ok {
 			fmt.Printf("  %-60s only in baseline (skipped)\n", name)
+			md.add("| `%s` | — | — | — | only in baseline |", name)
 		}
 	}
 	for name := range head {
 		if _, ok := base[name]; !ok {
 			fmt.Printf("  %-60s only in HEAD (skipped)\n", name)
+			md.add("| `%s` | — | — | — | only in HEAD |", name)
 		}
 	}
 
 	if len(names) == 0 {
 		fmt.Println("benchdiff: no common benchmarks; nothing to gate")
+		md.add("")
+		md.add("No common benchmarks; nothing gated.")
+		md.flush()
 		return
 	}
 	if regressions > 0 {
+		md.add("")
+		md.add("**%d benchmark(s) regressed more than %.0f%% (and %.0f ns/op).**", regressions, *threshold, *floor)
+		md.flush()
 		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% (and %.0f ns/op)\n",
 			regressions, *threshold, *floor)
 		os.Exit(1)
 	}
+	md.add("")
+	md.add("%d benchmark(s) within %.0f%% (floor %.0f ns/op).", len(names), *threshold, *floor)
+	md.flush()
 	fmt.Printf("benchdiff: %d benchmark(s) within %.0f%% (floor %.0f ns/op)\n",
 		len(names), *threshold, *floor)
 }

@@ -36,6 +36,7 @@ func main() {
 	serveOut := flag.String("serveout", "", "write the serving benchmark's machine-readable report here (BENCH_serve.json)")
 	kernelsOut := flag.String("kernelsout", "", "write the kernel ladder benchmark's machine-readable report here (BENCH_kernels.json)")
 	clusterOut := flag.String("clusterout", "", "write the cluster benchmark's machine-readable report here (BENCH_cluster.json)")
+	shardOut := flag.String("shardout", "", "write the sharding benchmark's machine-readable report here (BENCH_shard.json)")
 	memOut := flag.String("memout", "", "write the memory benchmark's machine-readable report here (BENCH_mem.json)")
 	flag.Parse()
 
@@ -103,6 +104,7 @@ func main() {
 		{"serve", func() string { return experiments.ServeBench(cfg, *serveOut) }},
 		{"kernels", func() string { return experiments.KernelsBench(cfg, *kernelsOut) }},
 		{"cluster", func() string { return experiments.ClusterBench(cfg, *clusterOut) }},
+		{"shard", func() string { return experiments.ShardBench(cfg, *shardOut) }},
 		{"mem", func() string { return experiments.MemBench(cfg, *memOut) }},
 	}
 	for _, it := range items {

@@ -11,6 +11,14 @@
 // restart; SIGINT/SIGTERM drains (stop admitting, finish in-flight
 // scans, then shut the listener down).
 //
+// -shard-slices N enables scatter/gather slice sharding: scans at least
+// N slices deep have their enhancement split into chunks fanned out
+// across healthy replicas and reassembled in slice order (bit-identical
+// to single-replica output), so single-scan latency scales with the
+// replica count. -shard-chunk fixes the chunk size; with
+// -shard-enhance-slice set, the chunk size comes from the workflow
+// latency model instead.
+//
 // API:
 //
 //	POST /v1/scan        synchronous: routed, hedged, retried; 200 + result
@@ -32,6 +40,7 @@ import (
 
 	"computecovid19/internal/cluster"
 	"computecovid19/internal/obs"
+	"computecovid19/internal/workflow"
 )
 
 func main() {
@@ -45,6 +54,10 @@ func main() {
 	noHedge := flag.Bool("no-hedge", false, "disable hedged requests")
 	hedgeMax := flag.Duration("hedge-max", time.Second, "upper clamp on the adaptive hedge delay")
 	deadline := flag.Duration("deadline", 2*time.Minute, "default per-scan deadline (caps retries, hedges, polling)")
+	shardSlices := flag.Int("shard-slices", 0, "scatter/gather enhancement for scans at least this many slices deep (0 disables sharding)")
+	shardChunk := flag.Int("shard-chunk", 0, "fixed chunk size in slices for sharded scans (0 = auto from healthy replica count)")
+	shardEnhanceSlice := flag.Duration("shard-enhance-slice", 0, "measured per-slice enhancement time feeding the chunk-size model (0 = no model)")
+	shardChunkOverhead := flag.Duration("shard-chunk-overhead", time.Millisecond, "per-chunk dispatch overhead for the chunk-size model")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max time to finish in-flight scans on shutdown")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
@@ -64,14 +77,20 @@ func main() {
 	}
 
 	g, err := cluster.New(cluster.Config{
-		Replicas:        urls,
-		HealthInterval:  *healthInterval,
-		EjectAfter:      *ejectAfter,
-		ReadmitAfter:    *readmitAfter,
-		MaxRetries:      *maxRetries,
-		DisableHedging:  *noHedge,
-		HedgeDelayMax:   *hedgeMax,
-		DefaultDeadline: *deadline,
+		Replicas:         urls,
+		HealthInterval:   *healthInterval,
+		EjectAfter:       *ejectAfter,
+		ReadmitAfter:     *readmitAfter,
+		MaxRetries:       *maxRetries,
+		DisableHedging:   *noHedge,
+		HedgeDelayMax:    *hedgeMax,
+		DefaultDeadline:  *deadline,
+		ShardSlices:      *shardSlices,
+		ShardChunkSlices: *shardChunk,
+		ShardModel: workflow.ClusterModel{
+			Replica:       workflow.ServeModel{EnhanceSlice: *shardEnhanceSlice},
+			ChunkOverhead: *shardChunkOverhead,
+		},
 	})
 	if err != nil {
 		log.Error("gateway construction failed", "err", err)
@@ -118,7 +137,7 @@ func main() {
 	}()
 
 	log.Info("gateway serving", "addr", *addr, "replicas", len(urls),
-		"hedging", !*noHedge, "max_retries", *maxRetries)
+		"hedging", !*noHedge, "max_retries", *maxRetries, "shard_slices", *shardSlices)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Error("listener failed", "err", err)
 		os.Exit(1)

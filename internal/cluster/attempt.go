@@ -72,7 +72,20 @@ func (g *Gateway) handleScan(w http.ResponseWriter, r *http.Request) {
 
 	requestsTotal.Inc()
 	start := time.Now()
-	res := g.do(ctx, body, key)
+	var res attemptResult
+	if g.shouldShard(&req) {
+		res = g.doSharded(ctx, &req)
+		if res.err != nil && ctx.Err() == nil {
+			// Sharding is an optimization, never a new failure mode: any
+			// scatter/gather or classify-leg error falls back to the plain
+			// unsharded path before the client sees anything.
+			shardFallbacksTotal.Inc()
+			obs.Logger(ctx).Warn("sharded scan falling back to unsharded", "err", res.err)
+			res = g.do(ctx, body, key)
+		}
+	} else {
+		res = g.do(ctx, body, key)
+	}
 	requestSeconds.Observe(time.Since(start).Seconds())
 
 	switch {
@@ -143,26 +156,45 @@ func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
-// attemptResult is one routing outcome: a finished view, a terminal
-// pass-through status, or a retryable error.
+// attemptResult is one routing outcome: a finished view (scans) or
+// enhanced chunk (sharded enhancement), a terminal pass-through status,
+// or a retryable error.
 type attemptResult struct {
 	view       serve.JobView
-	status     int    // HTTP status for the client when err is nil
-	body       []byte // terminal pass-through body (status != 200)
+	chunk      []float32 // enhanced voxels from a chunk-range call
+	status     int       // HTTP status for the client when err is nil
+	body       []byte    // terminal pass-through body (status != 200)
 	xcache     string
 	rep        *replica
 	hedged     bool
+	attempts   int // routing attempts consumed (hedges not counted)
 	retryAfter time.Duration
 	err        error
 }
 
-// do runs the retry loop: route (affinity first, then load-aware),
+// replicaCall is one unit of replica work inside the routing machinery:
+// a full scan (scanReplica) or a chunk-range enhancement
+// (enhanceReplica). Abstracting the call lets the sharded scatter path
+// reuse the exact same retry, exclusion, and hedging behavior scans get.
+type replicaCall func(ctx context.Context, rep *replica, hedged bool) attemptResult
+
+// do runs the retry loop for one whole scan (see doCall).
+func (g *Gateway) do(ctx context.Context, body []byte, key string) attemptResult {
+	return g.doCall(ctx, key, g.attemptLat, func(ctx context.Context, rep *replica, hedged bool) attemptResult {
+		return g.scanReplica(ctx, rep, body, hedged)
+	})
+}
+
+// doCall runs the retry loop: route (affinity first, then load-aware),
 // attempt with hedging, and on retryable failure try elsewhere until
 // the retry budget or the deadline runs out. Replicas that failed this
-// scan are excluded from re-selection until every replica has been
+// call are excluded from re-selection until every replica has been
 // tried, at which point the exclusion set resets — backpressure (429)
 // from the whole set is retried against it after the advertised wait.
-func (g *Gateway) do(ctx context.Context, body []byte, key string) attemptResult {
+// lat is the latency profile driving the adaptive hedge delay — scans
+// and chunks keep separate profiles, so millisecond chunks never trick
+// the gateway into hedging multi-second scans early (or vice versa).
+func (g *Gateway) doCall(ctx context.Context, key string, lat *obs.Histogram, call replicaCall) attemptResult {
 	tried := make(map[*replica]bool)
 	var last attemptResult
 	for attempt := 0; ; attempt++ {
@@ -177,13 +209,15 @@ func (g *Gateway) do(ctx context.Context, body []byte, key string) attemptResult
 		}
 		if rep == nil {
 			last.err = fmt.Errorf("no replicas available")
+			last.attempts = attempt + 1
 			return last
 		}
 		if affine {
 			affinityRouted.Inc()
 		}
 
-		res := g.attemptWithHedge(ctx, rep, body, tried)
+		res := g.attemptWithHedge(ctx, rep, tried, lat, call)
+		res.attempts = attempt + 1
 		if res.err == nil {
 			if affine && res.rep == rep && res.xcache == "hit" {
 				affinityHits.Inc()
@@ -216,15 +250,15 @@ func (g *Gateway) do(ctx context.Context, body []byte, key string) attemptResult
 // cancelled through the shared attempt context. When both attempts
 // fail, the primary's failure is reported (its replica drives the
 // exclusion set).
-func (g *Gateway) attemptWithHedge(ctx context.Context, primary *replica, body []byte, exclude map[*replica]bool) attemptResult {
+func (g *Gateway) attemptWithHedge(ctx context.Context, primary *replica, exclude map[*replica]bool, lat *obs.Histogram, call replicaCall) attemptResult {
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel() // cancels the hedge loser (or both, on deadline)
 
 	results := make(chan attemptResult, 2)
-	go func() { results <- g.scanReplica(actx, primary, body, false) }()
+	go func() { results <- call(actx, primary, false) }()
 
 	var timerC <-chan time.Time
-	if delay := g.hedgeDelay(); delay > 0 {
+	if delay := g.hedgeDelay(lat); delay > 0 {
 		timer := time.NewTimer(delay)
 		defer timer.Stop()
 		timerC = timer.C
@@ -263,28 +297,29 @@ func (g *Gateway) attemptWithHedge(ctx context.Context, primary *replica, body [
 			}
 			hedgesTotal.Inc()
 			outstanding++
-			go func() { results <- g.scanReplica(actx, h, body, true) }()
+			go func() { results <- call(actx, h, true) }()
 		case <-ctx.Done():
 			return attemptResult{rep: primary, err: ctx.Err()}
 		}
 	}
 }
 
-// hedgeDelay is the adaptive hedge trigger: the p95 of observed attempt
-// latencies, floored at HedgeDelayMin; before enough samples exist it
-// stays at HedgeDelayMax (hedging into the unknown is how retry storms
-// start). 0 means do not hedge: when the p95 itself exceeds
-// HedgeDelayMax the tail is saturation, not stragglers — every replica
-// is uniformly slow, and a second attempt would add load exactly when
-// the cluster has none to spare.
-func (g *Gateway) hedgeDelay() time.Duration {
+// hedgeDelay is the adaptive hedge trigger: the p95 of the given
+// latency profile (scan attempts or chunk attempts), floored at
+// HedgeDelayMin; before enough samples exist it stays at HedgeDelayMax
+// (hedging into the unknown is how retry storms start). 0 means do not
+// hedge: when the p95 itself exceeds HedgeDelayMax the tail is
+// saturation, not stragglers — every replica is uniformly slow, and a
+// second attempt would add load exactly when the cluster has none to
+// spare.
+func (g *Gateway) hedgeDelay(lat *obs.Histogram) time.Duration {
 	if g.cfg.DisableHedging {
 		return 0
 	}
-	if g.attemptLat.Count() < uint64(g.cfg.HedgeMinSamples) {
+	if lat.Count() < uint64(g.cfg.HedgeMinSamples) {
 		return g.cfg.HedgeDelayMax
 	}
-	d := time.Duration(g.attemptLat.Quantile(0.95) * float64(time.Second))
+	d := time.Duration(lat.Quantile(0.95) * float64(time.Second))
 	if d > g.cfg.HedgeDelayMax {
 		return 0
 	}

@@ -23,10 +23,15 @@ type chaosReplica struct {
 
 func startChaosReplica(t *testing.T, addr string) *chaosReplica {
 	t.Helper()
-	s, err := serve.New(serve.Config{
+	return startChaosReplicaCfg(t, addr, serve.Config{
 		Workers: 2, QueueDepth: 64, CacheSize: -1,
 		Process: stubProcess(5 * time.Millisecond),
 	})
+}
+
+func startChaosReplicaCfg(t *testing.T, addr string, cfg serve.Config) *chaosReplica {
+	t.Helper()
+	s, err := serve.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,4 +242,161 @@ func chaosVolumes(n int) []*volume.Volume {
 		vols[i] = v
 	}
 	return vols
+}
+
+// chaosDeepVolumes builds n distinct volumes deep enough to trip the
+// sharded path (16 slices against a ShardSlices of 4).
+func chaosDeepVolumes(n int) []*volume.Volume {
+	vols := make([]*volume.Volume, n)
+	for i := range vols {
+		v := volume.New(16, 8, 8)
+		for j := range v.Data {
+			v.Data[j] = float32((i+3)*(j+1)%131 - 65)
+		}
+		vols[i] = v
+	}
+	return vols
+}
+
+// TestChaosShardedReplicaKillMidScan is the sharded chaos acceptance
+// test: with scatter/gather sharding on, a replica killed abruptly
+// while chunks are in flight must cost re-dispatched chunks (or at
+// worst an unsharded fallback), never a client-visible failure — and
+// every sharded result still matches the unsharded one bit-for-bit
+// (covered by the property tests; here the invariant under fire is
+// zero failures).
+func TestChaosShardedReplicaKillMidScan(t *testing.T) {
+	// A deliberately slow identity enhancer keeps chunks in flight long
+	// enough for the kill to land mid-scatter.
+	slowCfg := func() serve.Config {
+		return serve.Config{
+			Workers: 2, QueueDepth: 64, CacheSize: -1,
+			Process: stubProcess(time.Millisecond),
+			Enhance: func(v *volume.Volume) *volume.Volume {
+				time.Sleep(3 * time.Millisecond)
+				return v
+			},
+		}
+	}
+	reps := []*chaosReplica{
+		startChaosReplicaCfg(t, "", slowCfg()),
+		startChaosReplicaCfg(t, "", slowCfg()),
+		startChaosReplicaCfg(t, "", slowCfg()),
+	}
+	urls := []string{reps[0].url(), reps[1].url(), reps[2].url()}
+	ejectionsBefore := ejectionsTotal.Value()
+	shardScansBefore := shardScansTotal.Value()
+	shardChunksBefore := shardChunksTotal.Value()
+
+	g, err := New(Config{
+		Replicas:         urls,
+		HealthInterval:   20 * time.Millisecond,
+		HealthTimeout:    500 * time.Millisecond,
+		EjectAfter:       2,
+		ReadmitAfter:     2,
+		MaxRetries:       4,
+		HedgeDelayMax:    250 * time.Millisecond,
+		ShardSlices:      4,
+		ShardChunkSlices: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	gwSrv := startChaosGateway(t, g)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := g.Drain(ctx); err != nil {
+			t.Errorf("gateway drain: %v", err)
+		}
+		for _, r := range reps {
+			r.s.Drain(ctx)
+			r.srv.Close()
+		}
+	}()
+
+	var victim ReplicaStatus
+	for _, rs := range g.Snapshot() {
+		if rs.URL == reps[1].url() {
+			victim = rs
+		}
+	}
+	if victim.Name == "" {
+		t.Fatal("victim replica missing from the snapshot")
+	}
+	sumServed := func() uint64 {
+		var n uint64
+		for _, rs := range g.Snapshot() {
+			n += rs.Served
+		}
+		return n
+	}
+	waitServed := func(min uint64) {
+		t.Helper()
+		for deadline := time.Now().Add(60 * time.Second); sumServed() < min; {
+			if time.Now().After(deadline) {
+				t.Fatalf("cluster stuck at %d served, want %d", sumServed(), min)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitVictimState := func(want string) {
+		t.Helper()
+		for deadline := time.Now().Add(15 * time.Second); ; {
+			if st := g.replicaByName(victim.Name).status(); st.State == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %s never became %s: %+v",
+					victim.Name, want, g.replicaByName(victim.Name).status())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	const requests = 200
+	loadDone := make(chan serve.LoadReport, 1)
+	go func() {
+		rep, err := serve.RunLoadURLs([]string{gwSrv}, serve.LoadOptions{
+			Requests:    requests,
+			Concurrency: 8,
+			Volumes:     chaosDeepVolumes(4),
+			Perturb:     true,
+			Seed:        13,
+		})
+		if err != nil {
+			t.Errorf("load: %v", err)
+		}
+		loadDone <- rep
+	}()
+
+	// Let sharded traffic reach steady state, then yank a replica out
+	// while its chunks are in flight.
+	waitServed(30)
+	reps[1].kill(t)
+	waitVictimState("ejected")
+
+	killedAt := sumServed()
+	waitServed(killedAt + 50)
+
+	reps[1] = startChaosReplicaCfg(t, reps[1].addr, slowCfg())
+	waitVictimState("healthy")
+
+	rep := <-loadDone
+	if rep.Failed != 0 {
+		t.Fatalf("client saw %d failed scans through the crash, want 0 (report %+v)", rep.Failed, rep)
+	}
+	if rep.Completed != requests {
+		t.Fatalf("completed %d of %d scans", rep.Completed, requests)
+	}
+	if got := ejectionsTotal.Value() - ejectionsBefore; got == 0 {
+		t.Fatal("the crash never ejected the replica")
+	}
+	if got := shardScansTotal.Value() - shardScansBefore; got == 0 {
+		t.Fatal("no scans took the sharded path")
+	}
+	if got := shardChunksTotal.Value() - shardChunksBefore; got == 0 {
+		t.Fatal("no chunks were scattered")
+	}
 }

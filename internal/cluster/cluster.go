@@ -47,6 +47,7 @@ import (
 
 	"computecovid19/internal/obs"
 	"computecovid19/internal/serve"
+	"computecovid19/internal/workflow"
 )
 
 // Config assembles a Gateway. The zero value of every tuning field
@@ -90,6 +91,25 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// Seed derives the router's RNG (deterministic tests).
 	Seed int64
+
+	// ShardSlices enables scatter/gather slice sharding for scans at
+	// least that many slices deep (0 disables sharding entirely). A
+	// sharded scan's enhancement is split into chunk-range /v1/enhance
+	// calls fanned out across healthy replicas, reassembled in slice
+	// order, and then submitted pre-enhanced for segment+classify —
+	// bit-identical to the unsharded path because per-slice forwards are
+	// independent. Sharding needs ≥ 2 healthy replicas; below that scans
+	// route whole.
+	ShardSlices int
+	// ShardChunkSlices fixes the chunk size in slices; 0 derives it from
+	// ShardModel (workflow-predicted replica throughput) or, with no
+	// model, an even split of two chunks per healthy replica.
+	ShardChunkSlices int
+	// ShardModel predicts the makespan-optimal chunk size from the
+	// replica's measured per-slice enhancement time and the per-chunk
+	// dispatch overhead (see workflow.ClusterModel.ShardChunkSlices).
+	// The model's Replicas field is overridden by the live healthy count.
+	ShardModel workflow.ClusterModel
 }
 
 // Gateway is a running (or startable) cluster front end.
@@ -102,9 +122,13 @@ type Gateway struct {
 	seq      int
 	rng      *rand.Rand
 
-	// attemptLat feeds the adaptive hedge delay; free-standing so one
-	// gateway's latency profile never pools with another's.
+	// attemptLat feeds the adaptive hedge delay for whole-scan attempts;
+	// chunkLat does the same for chunk-range enhance attempts. They are
+	// separate because the two call classes live on different latency
+	// scales, and free-standing so one gateway's profile never pools
+	// with another's.
 	attemptLat *obs.Histogram
+	chunkLat   *obs.Histogram
 
 	gate     sync.RWMutex // guards draining flips vs. admission
 	draining bool
@@ -163,6 +187,7 @@ func New(cfg Config) (*Gateway, error) {
 		cfg:        cfg,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		attemptLat: obs.NewHistogram(nil),
+		chunkLat:   obs.NewHistogram(nil),
 		stopc:      make(chan struct{}),
 	}
 	if err := g.SetReplicas(cfg.Replicas); err != nil {

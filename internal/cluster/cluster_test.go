@@ -580,19 +580,19 @@ func TestHedgeDelayAdaptive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := g.hedgeDelay(); got != 100*time.Millisecond {
+	if got := g.hedgeDelay(g.attemptLat); got != 100*time.Millisecond {
 		t.Fatalf("cold hedge delay %v, want the %v maximum", got, 100*time.Millisecond)
 	}
 	for i := 0; i < 16; i++ {
 		g.attemptLat.Observe(0.001)
 	}
-	if got := g.hedgeDelay(); got < 5*time.Millisecond || got > 100*time.Millisecond {
+	if got := g.hedgeDelay(g.attemptLat); got < 5*time.Millisecond || got > 100*time.Millisecond {
 		t.Fatalf("warm hedge delay %v outside [5ms, 100ms]", got)
 	}
 	for i := 0; i < 200; i++ {
 		g.attemptLat.Observe(2.0)
 	}
-	if got := g.hedgeDelay(); got != 0 {
+	if got := g.hedgeDelay(g.attemptLat); got != 0 {
 		t.Fatalf("saturated hedge delay %v, want 0 (paused)", got)
 	}
 
@@ -600,7 +600,7 @@ func TestHedgeDelayAdaptive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := off.hedgeDelay(); got != 0 {
+	if got := off.hedgeDelay(off.attemptLat); got != 0 {
 		t.Fatalf("disabled hedging delay %v, want 0", got)
 	}
 }

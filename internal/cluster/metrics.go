@@ -25,4 +25,15 @@ var (
 
 	// Gateway-side end-to-end scan latency (admission to terminal view).
 	requestSeconds = obs.GetHistogram("cluster_request_seconds", nil)
+
+	// Scatter/gather sharding: sharded scans, chunks completed, chunk
+	// re-dispatches (retries + hedges beyond the first attempt), and
+	// whole-scan fallbacks to the unsharded path. The histograms time one
+	// chunk round trip and the full scatter→gather window.
+	shardScansTotal      = obs.GetCounter("cluster_shard_scans_total")
+	shardChunksTotal     = obs.GetCounter("cluster_shard_chunks_total")
+	shardRedispatchTotal = obs.GetCounter("cluster_shard_redispatch_total")
+	shardFallbacksTotal  = obs.GetCounter("cluster_shard_fallbacks_total")
+	shardChunkSeconds    = obs.GetHistogram("cluster_shard_chunk_seconds", nil)
+	shardScatterSeconds  = obs.GetHistogram("cluster_shard_scatter_seconds", nil)
 )

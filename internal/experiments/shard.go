@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"computecovid19/internal/classify"
+	"computecovid19/internal/cluster"
+	"computecovid19/internal/core"
+	"computecovid19/internal/dataset"
+	"computecovid19/internal/ddnet"
+	"computecovid19/internal/obs"
+	"computecovid19/internal/serve"
+	"computecovid19/internal/volume"
+	"computecovid19/internal/workflow"
+)
+
+// shardPoint is one row of the BENCH_shard.json trajectory: measured
+// single-scan latency at a replica count, with the workflow model's
+// prediction alongside.
+type shardPoint struct {
+	Replicas         int     `json:"replicas"`
+	Sharded          bool    `json:"sharded"`
+	P50MS            float64 `json:"p50_ms"`
+	P95MS            float64 `json:"p95_ms"`
+	Chunks           uint64  `json:"chunks"`
+	Redispatches     uint64  `json:"redispatches"`
+	MeasuredSpeedup  float64 `json:"measured_speedup"`
+	PredictedMS      float64 `json:"predicted_ms"`
+	PredictedSpeedup float64 `json:"predicted_speedup"`
+}
+
+type shardReport struct {
+	Slices         int          `json:"slices"`
+	EnhanceSliceUS float64      `json:"enhance_slice_us"`
+	Points         []shardPoint `json:"points"`
+}
+
+// ShardBench measures the headline property of scatter/gather slice
+// sharding: single-scan latency drops as replicas are added, because
+// one scan's enhancement fans out across the cluster instead of
+// serializing on one replica. It runs the same closed-loop single
+// client against 1 (unsharded baseline), 2, and 3 replicas, chunk size
+// chosen by the workflow model from the profiled per-slice cost, and
+// writes the measured-vs-predicted trajectory to outPath
+// (BENCH_shard.json).
+//
+// The replicas are in-process, so they share this host's CPU — real
+// network compute cannot speed up with replica count here the way the
+// paper's per-node GPUs do. The replica enhancement stage is therefore
+// a calibrated service time (the per-slice cost profiled from the real
+// demo network, slept instead of computed), which parallelizes across
+// replicas the way independent devices would, while everything the
+// sharding layer itself does — chunk planning, HTTP fan-out, JSON
+// round trips, routing, gather and reassembly, the classify leg — runs
+// for real and is charged against the measured latency.
+func ShardBench(cfg Config, outPath string) string {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// A heavier-than-Tiny enhancer: sharding targets the regime where
+	// per-slice network compute dominates the chunk round trip (the
+	// paper's full-scale DDnet), so the demo network must be expensive
+	// enough per slice for the scatter to have something to win.
+	enhCfg := ddnet.TinyConfig()
+	enhCfg.BaseChannels, enhCfg.Growth, enhCfg.DenseLayers = 16, 16, 3
+	enh := ddnet.New(rng, enhCfg)
+	cls := classify.New(rng, classify.SmallConfig())
+	p := core.NewPipeline(enh, cls)
+
+	cohortCfg := dataset.DefaultCohortConfig()
+	cohortCfg.Count = 4
+	cohortCfg.Depth = 24 // deep scans are what sharding exists for
+	cohortCfg.Seed = cfg.Seed + 1
+	cases := dataset.BuildCohort(cohortCfg)
+	vols := make([]*volume.Volume, len(cases))
+	for i, c := range cases {
+		vols[i] = c.Volume
+	}
+
+	requests := 24
+	if cfg.Quick {
+		requests = 10
+	}
+	batch := 8
+
+	enhSlice, segClsScan := profileStages(p, cases[0], batch)
+
+	report := shardReport{
+		Slices:         cohortCfg.Depth,
+		EnhanceSliceUS: float64(enhSlice.Microseconds()),
+	}
+	var baselineP50 float64
+	for _, replicas := range []int{1, 2, 3} {
+		model := workflow.ClusterModel{
+			Replicas: replicas,
+			Replica: workflow.ServeModel{
+				Workers: 2, BatchSize: batch, BatchTimeout: 2 * time.Millisecond,
+				SlicesPerScan: cohortCfg.Depth, EnhanceSlice: enhSlice,
+				Segment: segClsScan,
+			},
+			ChunkOverhead: 2 * time.Millisecond,
+		}
+
+		pt, err := runShardPoint(p, model, vols, requests, cfg.Seed, batch, enhSlice)
+		if err != nil {
+			return "shard bench: " + err.Error()
+		}
+		pt.PredictedMS = model.PredictedShardedLatency(cohortCfg.Depth).Seconds() * 1e3
+		pt.PredictedSpeedup = model.PredictedShardedSpeedup(cohortCfg.Depth)
+		if replicas == 1 {
+			baselineP50 = pt.P50MS
+			pt.MeasuredSpeedup = 1
+			pt.PredictedSpeedup = 1
+		} else if pt.P50MS > 0 {
+			pt.MeasuredSpeedup = baselineP50 / pt.P50MS
+		}
+		report.Points = append(report.Points, pt)
+	}
+
+	if outPath != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(outPath, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			return "shard bench: " + err.Error()
+		}
+	}
+
+	t := &table{header: []string{"replicas", "sharded", "p50", "p95", "chunks", "speedup", "model p50", "model speedup"}}
+	for _, pt := range report.Points {
+		t.add(fmt.Sprintf("%d", pt.Replicas),
+			fmt.Sprintf("%v", pt.Sharded),
+			fmt.Sprintf("%.1f ms", pt.P50MS),
+			fmt.Sprintf("%.1f ms", pt.P95MS),
+			fmt.Sprintf("%d", pt.Chunks),
+			fmt.Sprintf("%.2f×", pt.MeasuredSpeedup),
+			fmt.Sprintf("%.1f ms", pt.PredictedMS),
+			fmt.Sprintf("%.2f×", pt.PredictedSpeedup))
+	}
+
+	var b strings.Builder
+	b.WriteString("Shard benchmark — internal/cluster scatter/gather slice sharding\n")
+	fmt.Fprintf(&b, "Single closed-loop client, %d×%d×%d volumes, chunk size from the workflow model.\n\n",
+		cohortCfg.Depth, cohortCfg.Size, cohortCfg.Size)
+	b.WriteString(t.String())
+	if outPath != "" {
+		fmt.Fprintf(&b, "\nwrote %s\n", outPath)
+	}
+	return b.String()
+}
+
+// runShardPoint measures single-scan latency through a gateway over n
+// real replicas whose enhancement stage is the calibrated perSlice
+// service time (segment+classify runs the real pipeline). With one
+// replica the sharded path never engages (nothing to scatter across),
+// so that point is the unsharded baseline.
+func runShardPoint(p *core.Pipeline, model workflow.ClusterModel, vols []*volume.Volume, requests int, seed int64, batch int, perSlice time.Duration) (shardPoint, error) {
+	var (
+		servers []*serve.Server
+		urls    []string
+		closers []func()
+	)
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	for i := 0; i < model.Replicas; i++ {
+		s, err := serve.New(serve.Config{
+			Pipeline: p, Workers: 2, QueueDepth: 64,
+			BatchSize: batch, BatchTimeout: 2 * time.Millisecond,
+			CacheSize: -1, // unique volumes; measure the data plane
+			Enhance: func(v *volume.Volume) *volume.Volume {
+				time.Sleep(time.Duration(v.D) * perSlice)
+				return v
+			},
+		})
+		if err != nil {
+			return shardPoint{}, err
+		}
+		s.Start()
+		ts := httptest.NewServer(s.Handler())
+		closers = append(closers, ts.Close)
+		servers = append(servers, s)
+		urls = append(urls, ts.URL)
+	}
+
+	g, err := cluster.New(cluster.Config{
+		Replicas:    urls,
+		Seed:        seed,
+		ShardSlices: 2, // shard every scan that can be split
+		ShardModel:  model,
+	})
+	if err != nil {
+		return shardPoint{}, err
+	}
+	g.Start()
+	gw := httptest.NewServer(g.Handler())
+	closers = append(closers, gw.Close)
+
+	chunksBefore := obs.GetCounter("cluster_shard_chunks_total").Value()
+	redispatchBefore := obs.GetCounter("cluster_shard_redispatch_total").Value()
+
+	rep, err := serve.RunLoadURLs([]string{gw.URL}, serve.LoadOptions{
+		Requests:    requests,
+		Concurrency: 1, // single-scan latency is the quantity under test
+		Volumes:     vols,
+		Perturb:     true,
+		Seed:        seed + 2,
+	})
+	if err != nil {
+		return shardPoint{}, err
+	}
+	if rep.Failed > 0 {
+		return shardPoint{}, fmt.Errorf("%d of %d scans failed", rep.Failed, requests)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := g.Drain(drainCtx); err != nil {
+		return shardPoint{}, err
+	}
+	for _, s := range servers {
+		if err := s.Drain(drainCtx); err != nil {
+			return shardPoint{}, err
+		}
+	}
+
+	return shardPoint{
+		Replicas:     model.Replicas,
+		Sharded:      model.Replicas >= 2,
+		P50MS:        rep.P50MS,
+		P95MS:        rep.P95MS,
+		Chunks:       obs.GetCounter("cluster_shard_chunks_total").Value() - chunksBefore,
+		Redispatches: obs.GetCounter("cluster_shard_redispatch_total").Value() - redispatchBefore,
+	}, nil
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"computecovid19/internal/memplan"
+	"computecovid19/internal/obs"
+	"computecovid19/internal/volume"
+)
+
+// EnhanceResponse is the POST /v1/enhance reply: the enhanced chunk in
+// the same row-major layout as the request. Go encodes float32 values in
+// shortest-form decimal, so a volume round-trips the wire bit-exactly —
+// the property the gateway's bit-identical sharding guarantee rests on.
+type EnhanceResponse struct {
+	D    int       `json:"d"`
+	H    int       `json:"h"`
+	W    int       `json:"w"`
+	Data []float32 `json:"data"`
+}
+
+// handleEnhance is the chunk-range enhancement endpoint — the replica
+// side of the gateway's scatter/gather sharding. It synchronously runs
+// Enhancement AI over the posted sub-volume (a contiguous slice range of
+// some larger scan) and returns the enhanced chunk. Per-slice forwards
+// are independent, so enhancing a chunk in isolation is bit-identical to
+// enhancing the same slices inside the whole scan.
+//
+// The endpoint deliberately bypasses the scan queue: chunks are small,
+// latency-critical, and retried/hedged by the gateway, so admission is a
+// simple concurrency bound (429 + Retry-After when EnhanceConcurrency
+// chunks are already in flight) and drain is an immediate 503.
+func (s *Server) handleEnhance(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if sc, ok := obs.ParseTraceparent(r.Header.Get("Traceparent")); ok {
+		ctx = obs.ContextWithRemote(ctx, sc)
+	}
+	ctx, sp := obs.StartCtx(ctx, "serve/enhance-chunk")
+	defer sp.End()
+	if tp := sp.Traceparent(); tp != "" {
+		w.Header().Set("Traceparent", tp)
+	}
+
+	if s.Draining() {
+		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		return
+	}
+	var req ScanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad json: %v", err)
+		return
+	}
+	if req.D <= 0 || req.H <= 0 || req.W <= 0 {
+		httpError(w, http.StatusBadRequest, "dimensions must be positive, got %dx%dx%d", req.D, req.H, req.W)
+		return
+	}
+	voxels := req.D * req.H * req.W
+	if voxels > s.cfg.MaxVoxels {
+		httpError(w, http.StatusRequestEntityTooLarge, "chunk has %d voxels, limit %d", voxels, s.cfg.MaxVoxels)
+		return
+	}
+	if len(req.Data) != voxels {
+		httpError(w, http.StatusBadRequest, "data has %d values, want %d", len(req.Data), voxels)
+		return
+	}
+
+	if n := s.enhInflight.Add(1); n > int64(s.cfg.EnhanceConcurrency) {
+		s.enhInflight.Add(-1)
+		enhanceChunkRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "chunk concurrency limit reached (%d)", s.cfg.EnhanceConcurrency)
+		return
+	}
+	defer s.enhInflight.Add(-1)
+	defer func() {
+		if rec := recover(); rec != nil {
+			httpError(w, http.StatusInternalServerError, "enhance panic: %v", rec)
+		}
+	}()
+
+	start := time.Now()
+	sp.SetAttr("slices", req.D)
+	in := &volume.Volume{D: req.D, H: req.H, W: req.W, Data: req.Data}
+	out, recycle := s.enhanceChunk(ctx, in)
+
+	enhanceChunkSeconds.Observe(time.Since(start).Seconds())
+	enhanceChunksTotal.Inc()
+	writeJSON(w, http.StatusOK, EnhanceResponse{D: out.D, H: out.H, W: out.W, Data: out.Data})
+	if recycle {
+		s.cfg.Pipeline.RecycleVolume(out)
+	}
+}
+
+// enhanceChunk picks the enhancement backend for one chunk, in the same
+// precedence order the scan path uses: the Enhance test seam, the
+// micro-batcher (chunks from concurrent scatters share batches exactly
+// like concurrent scans do), the pooled EnhanceInto path, or — with no
+// pipeline at all (Process-stub replicas) — an identity echo. recycle
+// reports whether out came from the pipeline's volume pool and must be
+// recycled after the response is written.
+func (s *Server) enhanceChunk(ctx context.Context, in *volume.Volume) (out *volume.Volume, recycle bool) {
+	switch {
+	case s.cfg.Enhance != nil:
+		return s.cfg.Enhance(in), false
+	case s.batcher != nil:
+		mem := s.enhArenas.Get().(*memplan.Arena)
+		out = s.enhanceVolume(ctx, mem, in)
+		s.enhArenas.Put(mem)
+		return out, out != in
+	case s.cfg.Pipeline != nil:
+		out = s.cfg.Pipeline.GetVolume(in.D, in.H, in.W)
+		s.cfg.Pipeline.EnhanceInto(ctx, in, out)
+		return out, true
+	default:
+		return in, false
+	}
+}

@@ -35,6 +35,10 @@ type job struct {
 	key       string
 	submitted time.Time
 	deadline  time.Time
+	// preEnhanced marks a volume that already went through Enhancement
+	// AI (sharded gateway reassembly); the worker skips that stage.
+	// Written once in handleSubmit before enqueue, read by the worker.
+	preEnhanced bool
 
 	ctx   context.Context
 	span  *obs.Span

@@ -19,4 +19,11 @@ var (
 	// batched-forward cost per micro-batch.
 	requestSeconds      = obs.GetHistogram("serve_request_seconds", nil)
 	enhanceBatchSeconds = obs.GetHistogram("serve_enhance_batch_seconds", nil)
+
+	// Chunk-range enhancement endpoint (the gateway's scatter/gather
+	// unit): completions, concurrency-bound rejections, and the
+	// synchronous per-chunk service time.
+	enhanceChunksTotal   = obs.GetCounter("serve_enhance_chunks_total")
+	enhanceChunkRejected = obs.GetCounter("serve_enhance_chunk_rejected_total")
+	enhanceChunkSeconds  = obs.GetHistogram("serve_enhance_chunk_seconds", nil)
 )

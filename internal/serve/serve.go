@@ -35,6 +35,7 @@ import (
 	"math"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"computecovid19/internal/core"
@@ -75,6 +76,17 @@ type Config struct {
 	// custom models plug into. When set, Pipeline may be nil and
 	// micro-batching is bypassed.
 	Process func(v *volume.Volume) core.Result
+	// Enhance overrides the enhancement stage everywhere it runs — the
+	// chunk-range endpoint (POST /v1/enhance) and the scan path's
+	// pre-process enhancement — the seam chaos tests and calibrated
+	// benches plug into, parallel to Process for segment+classify. When
+	// nil, enhancement uses the pipeline (micro-batched when enabled),
+	// or passes the input through when no enhancer exists.
+	Enhance func(v *volume.Volume) *volume.Volume
+	// EnhanceConcurrency bounds concurrent chunk-range enhancements;
+	// excess requests get 429 + Retry-After so the gateway re-dispatches
+	// the chunk elsewhere. Defaults to 4× Workers.
+	EnhanceConcurrency int
 	// SLO configures the /v1/scan latency and availability objectives
 	// (zero fields pick obs.NewSLO's serving defaults). Budget-remaining
 	// and burn-rate gauges are recomputed on every /metrics scrape.
@@ -98,6 +110,12 @@ type Server struct {
 	cache   *resultCache
 	batcher *batcher
 	slo     *obs.SLO
+
+	// Chunk-range enhancement state: a free list of per-request arenas
+	// (the batcher path stages slices from one) and the inflight count
+	// behind the EnhanceConcurrency admission bound.
+	enhArenas   sync.Pool
+	enhInflight atomic.Int64
 
 	queue chan *job
 	gate  sync.RWMutex // guards queue close vs. admission sends
@@ -136,6 +154,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxVoxels <= 0 {
 		cfg.MaxVoxels = 1 << 26
 	}
+	if cfg.EnhanceConcurrency <= 0 {
+		cfg.EnhanceConcurrency = 4 * cfg.Workers
+	}
 	s := &Server{
 		cfg:   cfg,
 		store: newStore(),
@@ -143,6 +164,7 @@ func New(cfg Config) (*Server, error) {
 		queue: make(chan *job, cfg.QueueDepth),
 		slo:   obs.NewSLO(cfg.SLO),
 	}
+	s.enhArenas.New = func() any { return memplan.New() }
 	obs.NewBuildInfo(kernels.Names()).Register()
 	if cfg.Pipeline != nil {
 		cfg.Pipeline.Warm()
@@ -205,12 +227,18 @@ func (s *Server) Draining() bool {
 
 // ScanRequest is the POST /v1/scan body: a D×H×W volume in Hounsfield
 // units, row-major slice by slice, plus an optional per-request deadline.
+// PreEnhanced marks a volume that already went through Enhancement AI
+// (the gateway's sharded scatter/gather path submits these after
+// reassembly); the worker skips the enhancement stage and runs
+// segment+classify directly. The flag is part of the cache identity, so
+// a raw volume and the byte-identical pre-enhanced one never collide.
 type ScanRequest struct {
-	D          int       `json:"d"`
-	H          int       `json:"h"`
-	W          int       `json:"w"`
-	Data       []float32 `json:"data"`
-	DeadlineMS int       `json:"deadline_ms,omitempty"`
+	D           int       `json:"d"`
+	H           int       `json:"h"`
+	W           int       `json:"w"`
+	Data        []float32 `json:"data"`
+	DeadlineMS  int       `json:"deadline_ms,omitempty"`
+	PreEnhanced bool      `json:"pre_enhanced,omitempty"`
 }
 
 // Handler returns the HTTP API:
@@ -223,6 +251,7 @@ type ScanRequest struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/scan", s.handleSubmit)
+	mux.HandleFunc("POST /v1/enhance", s.handleEnhance)
 	mux.HandleFunc("GET /v1/scan/{id}", s.handleGet)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -301,7 +330,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	vol := &volume.Volume{D: req.D, H: req.H, W: req.W, Data: req.Data}
-	key := s.cacheKey(vol)
+	key := s.cacheKey(vol, req.PreEnhanced)
 	if res, ok := s.cache.get(key); ok {
 		cacheHits.Inc()
 		j := s.store.newJob(vol, key, time.Time{})
@@ -322,6 +351,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		deadline = time.Now().Add(s.cfg.DefaultDeadline)
 	}
 	j := s.store.newJob(vol, key, deadline)
+	j.preEnhanced = req.PreEnhanced
 	// Detach the trace from the HTTP context: processing must survive
 	// the client hanging up on the 202. The queue span is opened before
 	// the enqueue so the worker can never dequeue a job without one.
@@ -374,14 +404,20 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // cacheKey is the content address of a volume under the current model:
-// SHA-256 over model version, dimensions, and the raw voxel bits.
-func (s *Server) cacheKey(v *volume.Volume) string {
+// SHA-256 over model version, dimensions, the pre-enhanced flag, and the
+// raw voxel bits. The flag keeps a raw volume whose bytes happen to
+// equal an enhanced one (identity enhancers, no-op windows) from
+// aliasing its cached result.
+func (s *Server) cacheKey(v *volume.Volume, preEnhanced bool) string {
 	h := sha256.New()
 	h.Write([]byte(s.cfg.ModelVersion))
-	var dims [12]byte
+	var dims [13]byte
 	binary.LittleEndian.PutUint32(dims[0:], uint32(v.D))
 	binary.LittleEndian.PutUint32(dims[4:], uint32(v.H))
 	binary.LittleEndian.PutUint32(dims[8:], uint32(v.W))
+	if preEnhanced {
+		dims[12] = 1
+	}
 	h.Write(dims[:])
 	buf := make([]byte, 4*len(v.Data))
 	for i, x := range v.Data {

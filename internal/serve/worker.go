@@ -57,7 +57,10 @@ func (s *Server) process(j *job, mem *memplan.Arena) {
 		r := s.cfg.Process(j.vol)
 		res = ScanResult{Probability: r.Probability, Positive: r.Positive}
 	} else {
-		enhanced := s.enhanceVolume(ctx, mem, j.vol)
+		enhanced := j.vol
+		if !j.preEnhanced {
+			enhanced = s.enhanceVolume(ctx, mem, j.vol)
+		}
 		r := s.cfg.Pipeline.ClassifyCtx(ctx, enhanced)
 		res = ScanResult{Probability: r.Probability, Positive: r.Positive}
 		// The lung mask and (when enhancement ran) the enhanced volume
@@ -114,6 +117,12 @@ func (s *Server) endJobTrace(j *job, sp *obs.Span, failed bool, reason string) {
 // volume passes through unchanged, matching core.Pipeline.Enhance
 // semantics.
 func (s *Server) enhanceVolume(ctx context.Context, mem *memplan.Arena, v *volume.Volume) *volume.Volume {
+	if s.cfg.Enhance != nil {
+		_, esp := obs.StartCtx(ctx, "serve/enhance")
+		defer esp.End()
+		esp.SetAttr("slices", v.D)
+		return s.cfg.Enhance(v)
+	}
 	if s.batcher == nil {
 		return v
 	}

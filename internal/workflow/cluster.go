@@ -21,6 +21,104 @@ type ClusterModel struct {
 	// the gateway. It adds latency but no capacity limit: the gateway is
 	// I/O-bound and effectively unlimited next to scan service times.
 	GatewayOverhead time.Duration
+	// ChunkOverhead is the fixed per-chunk cost of sharded scatter/gather
+	// dispatch — one /v1/enhance round trip's JSON encode/decode plus the
+	// HTTP exchange. It is what stops the optimal chunk size from being 1:
+	// smaller chunks spread load better but pay this toll more often.
+	ChunkOverhead time.Duration
+}
+
+// shardedWaves is the wave count of a sharded enhancement: nchunks jobs
+// over Replicas parallel servers, list-scheduled.
+func shardedWaves(nchunks, replicas int) int {
+	return (nchunks + replicas - 1) / replicas
+}
+
+// ShardChunkSlices picks the chunk size (in slices) for a sharded scan of
+// the given depth: the size minimizing the predicted enhancement
+// makespan under the uniform-chunk idealization — ceil(D/k) chunks of
+// duration k·EnhanceSlice + ChunkOverhead, executed in ceil(chunks/R)
+// waves across R replicas. Ties break toward larger chunks (fewer round
+// trips, same makespan). With no per-slice model the toll-free optimum
+// degenerates to k = 1, so an even split into one wave per replica is
+// returned instead.
+func (m ClusterModel) ShardChunkSlices(slices int) int {
+	replicas := m.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	if slices <= 1 {
+		return 1
+	}
+	if m.Replica.EnhanceSlice <= 0 {
+		return (slices + replicas - 1) / replicas
+	}
+	best, bestSpan := 1, time.Duration(math.MaxInt64)
+	for k := 1; k <= slices; k++ {
+		if span := m.shardedEnhanceSpan(slices, k); span <= bestSpan {
+			best, bestSpan = k, span
+		}
+	}
+	return best
+}
+
+// shardedEnhanceSpan is the predicted enhancement makespan of a sharded
+// scan at chunk size k: every chunk modeled at the full-chunk duration
+// (the uniform-chunk idealization the simulator validation shares).
+func (m ClusterModel) shardedEnhanceSpan(slices, k int) time.Duration {
+	replicas := m.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	nchunks := (slices + k - 1) / k
+	chunkDur := time.Duration(k)*m.Replica.EnhanceSlice + m.ChunkOverhead
+	return time.Duration(shardedWaves(nchunks, replicas)) * chunkDur
+}
+
+// PredictedShardedLatency is one scan's end-to-end latency through an
+// idle sharded cluster: gateway overhead, the scatter/gather enhancement
+// makespan at the ShardChunkSlices-chosen chunk size, then the
+// segment+classify leg on a single replica.
+func (m ClusterModel) PredictedShardedLatency(slices int) time.Duration {
+	return m.GatewayOverhead + m.shardedEnhanceSpan(slices, m.ShardChunkSlices(slices)) +
+		m.Replica.Segment + m.Replica.Classify
+}
+
+// PredictedShardedSpeedup is the predicted single-scan latency ratio of
+// the unsharded path (whole scan on one replica) over the sharded path —
+// the number BENCH_shard.json measures.
+func (m ClusterModel) PredictedShardedSpeedup(slices int) float64 {
+	single := m.GatewayOverhead + time.Duration(slices)*m.Replica.EnhanceSlice +
+		m.Replica.Segment + m.Replica.Classify
+	sharded := m.PredictedShardedLatency(slices)
+	if sharded <= 0 {
+		return 0
+	}
+	return float64(single) / float64(sharded)
+}
+
+// ShardedEnhancePipeline maps one sharded scan's chunk fan-out onto the
+// simulator: each "patient" is a chunk, the single stage has Replicas
+// parallel servers, and every chunk takes the uniform full-chunk
+// duration. Run with an arrival window of 0 (all chunks scattered at
+// once); the Result's Max is the enhancement makespan, which the
+// analytic shardedEnhanceSpan must reproduce exactly.
+func (m ClusterModel) ShardedEnhancePipeline(slices, chunkSlices int) (Pipeline, int) {
+	replicas := m.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	nchunks := (slices + chunkSlices - 1) / chunkSlices
+	chunkDur := time.Duration(chunkSlices)*m.Replica.EnhanceSlice + m.ChunkOverhead
+	p := Pipeline{
+		Name: "sharded enhancement",
+		Stages: []Stage{{
+			Name:     "enhance (sharded)",
+			Duration: Fixed(chunkDur),
+			Servers:  replicas,
+		}},
+	}
+	return p, nchunks
 }
 
 // ClusterPipeline maps the cluster onto the simulator's stage

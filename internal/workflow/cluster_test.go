@@ -73,6 +73,73 @@ func TestClusterPredictedQuantileShape(t *testing.T) {
 	}
 }
 
+// TestShardChunkSlicesPicksMakespanOptimum pins the chunk-size search
+// on a hand-checkable case: 12 slices across 3 replicas at 10 ms/slice.
+// With no per-chunk overhead the 40 ms makespan is achievable at k = 1,
+// 2, or 4, and ties break toward the larger chunk (fewer round trips);
+// a 5 ms overhead makes the one-wave even split strictly best.
+func TestShardChunkSlicesPicksMakespanOptimum(t *testing.T) {
+	m := testClusterModel(3)
+	m.Replica.EnhanceSlice = 10 * time.Millisecond
+
+	m.ChunkOverhead = 0
+	if got := m.ShardChunkSlices(12); got != 4 {
+		t.Fatalf("overhead-free chunk size %d, want 4 (largest makespan tie)", got)
+	}
+	m.ChunkOverhead = 5 * time.Millisecond
+	if got := m.ShardChunkSlices(12); got != 4 {
+		t.Fatalf("chunk size %d with overhead, want 4", got)
+	}
+
+	// No per-slice model: degrade to one even wave across the replicas.
+	m.Replica.EnhanceSlice = 0
+	if got := m.ShardChunkSlices(10); got != 4 {
+		t.Fatalf("model-free chunk size %d, want ceil(10/3)=4", got)
+	}
+}
+
+// TestShardedLatencyModelMatchesSimulation is the simulator cross-check
+// for the sharded-latency model: mapping one scan's chunk fan-out onto
+// the discrete-event simulator (each chunk a job, Replicas parallel
+// servers, uniform chunk duration) must reproduce the analytic makespan
+// exactly — both sides model the same list schedule.
+func TestShardedLatencyModelMatchesSimulation(t *testing.T) {
+	for _, tc := range []struct{ slices, replicas, chunk int }{
+		{8, 2, 1}, {8, 2, 3}, {12, 3, 4}, {512, 7, 16}, {9, 3, 9},
+	} {
+		m := testClusterModel(tc.replicas)
+		m.ChunkOverhead = time.Millisecond
+		p, nchunks := m.ShardedEnhancePipeline(tc.slices, tc.chunk)
+		rng := rand.New(rand.NewSource(1))
+		res := Run(p, nchunks, 0, rng)
+		if want := m.shardedEnhanceSpan(tc.slices, tc.chunk); res.Max != want {
+			t.Fatalf("slices=%d replicas=%d chunk=%d: simulated makespan %v, analytic %v",
+				tc.slices, tc.replicas, tc.chunk, res.Max, want)
+		}
+	}
+}
+
+// TestShardedSpeedupScalesWithReplicas checks the headline property the
+// sharded data plane exists for: predicted single-scan latency drops as
+// replicas are added, and the predicted speedup over the unsharded path
+// clears 1 once there is anything to scatter across.
+func TestShardedSpeedupScalesWithReplicas(t *testing.T) {
+	const slices = 64
+	prev := time.Duration(math.MaxInt64)
+	for _, n := range []int{2, 4, 8} {
+		m := testClusterModel(n)
+		m.ChunkOverhead = time.Millisecond
+		lat := m.PredictedShardedLatency(slices)
+		if lat >= prev {
+			t.Fatalf("latency did not drop at %d replicas: %v (prev %v)", n, lat, prev)
+		}
+		prev = lat
+		if sp := m.PredictedShardedSpeedup(slices); sp <= 1 {
+			t.Fatalf("predicted speedup %.2f at %d replicas, want > 1", sp, n)
+		}
+	}
+}
+
 // TestClusterP99MatchesSimulation validates the Erlang-C tail against
 // the discrete-event simulation at moderate load. The simulator's
 // arrivals are uniform over the window (Poisson-like for large n) and

@@ -26,8 +26,28 @@
 #               across runs to suppress scheduler noise (default: 5)
 #   PKGS        packages to benchmark (default: ./internal/kernels/
 #               ./internal/obs/ ./internal/core/)
+#   GITHUB_STEP_SUMMARY  when set (GitHub Actions sets it), both
+#               benchdiff passes also append their verdicts there as
+#               markdown tables
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# An interrupted earlier run (Ctrl-C, CI cancellation, OOM kill) can
+# leave its baseline worktree behind; a leftover registration also
+# blocks future checkouts of the same ref. Reap any stale benchcheck
+# worktrees first — idempotent, and never touches worktrees this script
+# did not create (ours live under a mktemp "benchcheck." directory).
+git worktree list --porcelain 2>/dev/null | awk '/^worktree /{print $2}' |
+    while IFS= read -r wt; do
+        case "$wt" in
+        */benchcheck.*/base)
+            echo "benchcheck: removing stale worktree $wt"
+            git worktree remove --force "$wt" 2>/dev/null || true
+            rm -rf "$(dirname "$wt")"
+            ;;
+        esac
+    done
+git worktree prune
 
 BASE_REF="${BASE_REF:-}"
 if [ -z "$BASE_REF" ]; then
@@ -43,12 +63,17 @@ BENCHTIME="${BENCHTIME:-200ms}"
 COUNT="${COUNT:-5}"
 PKGS="${PKGS:-./internal/kernels/ ./internal/obs/ ./internal/core/}"
 
-tmp="$(mktemp -d)"
+tmp="$(mktemp -d -t benchcheck.XXXXXXXX)"
 cleanup() {
     git worktree remove --force "$tmp/base" 2>/dev/null || true
     rm -rf "$tmp"
 }
+# The EXIT trap alone does not fire when a signal kills the shell;
+# convert INT/TERM into an exit so cleanup always runs, with the
+# conventional 128+signal status.
 trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 echo "benchcheck: baseline $BASE_REF vs HEAD (threshold ${THRESHOLD}%, floor ${FLOOR}ns, benchtime $BENCHTIME, count $COUNT)"
 git worktree add --quiet --detach "$tmp/base" "$BASE_REF"
@@ -70,6 +95,8 @@ run_bench "$tmp/base" "$tmp/base.txt"
 run_bench . "$tmp/head.txt"
 
 # benchdiff always runs from HEAD's tree, so the baseline does not need
-# to contain the tool.
-go run ./cmd/benchdiff -threshold "$THRESHOLD" -floor "$FLOOR" "$tmp/base.txt" "$tmp/head.txt"
-go run ./cmd/benchdiff -allocs "$tmp/base.txt" "$tmp/head.txt"
+# to contain the tool. Under GitHub Actions the verdicts also land on
+# the run's summary page as markdown tables.
+md="${GITHUB_STEP_SUMMARY:-}"
+go run ./cmd/benchdiff -threshold "$THRESHOLD" -floor "$FLOOR" ${md:+-md "$md"} "$tmp/base.txt" "$tmp/head.txt"
+go run ./cmd/benchdiff -allocs ${md:+-md "$md"} "$tmp/base.txt" "$tmp/head.txt"

@@ -23,8 +23,28 @@ if [ -z "$total" ]; then
 fi
 
 echo "covcheck: $profile total coverage ${total}% (minimum ${min}%)"
+
+status="ok"
+fail=0
 # awk handles the float comparison portably.
 if awk -v t="$total" -v m="$min" 'BEGIN { exit !(t < m) }'; then
+    status="**BELOW MINIMUM**"
+    fail=1
+fi
+
+# Under GitHub Actions, render the verdict on the run's summary page.
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    {
+        echo "### Coverage gate"
+        echo
+        echo "| profile | total | minimum | status |"
+        echo "|---|---|---|---|"
+        echo "| \`$profile\` | ${total}% | ${min}% | $status |"
+        echo
+    } >>"$GITHUB_STEP_SUMMARY"
+fi
+
+if [ "$fail" -ne 0 ]; then
     echo "covcheck: coverage ${total}% is below the ${min}% minimum" >&2
     exit 1
 fi
