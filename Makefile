@@ -30,6 +30,7 @@ test:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/parallel/... ./internal/kernels/... ./internal/memplan/... ./internal/distrib/... ./internal/serve/... ./internal/cluster/...
 	$(GO) test -race -run 'Pooled|Concurrent|Allocs' ./internal/core/
+	$(GO) test -race -run 'Warm|Fused' ./internal/ddnet/
 
 vet:
 	$(GO) vet ./...

@@ -71,10 +71,16 @@ func TestPlanChunksCoversEveryUnit(t *testing.T) {
 }
 
 // shardPipeline builds one real (tiny) enhancement+classification
-// pipeline shared by every replica in a sharding test.
+// pipeline shared by every replica in a sharding test. It is warmed up
+// front so locally computed references run the same compiled fused
+// execution plan the serve replicas run (replicas warm on start, and
+// the fused plan differs from the cold layer-wise path by design —
+// within the documented ULP budget, but these tests compare bits).
 func shardPipeline() *core.Pipeline {
 	rng := rand.New(rand.NewSource(11))
-	return core.NewPipeline(ddnet.New(rng, ddnet.TinyConfig()), classify.New(rng, classify.SmallConfig()))
+	p := core.NewPipeline(ddnet.New(rng, ddnet.TinyConfig()), classify.New(rng, classify.SmallConfig()))
+	p.Warm()
+	return p
 }
 
 // shardVolume builds a deterministic D×16×16 HU volume.

@@ -233,11 +233,13 @@ func (p *Pipeline) classifyEnhanced(enhanced *volume.Volume, sp *obs.Span) Resul
 // model state. nn.BatchNorm.SetTraining skips redundant writes, so after
 // Warm the per-call SetTraining(false) in ddnet.Enhance and
 // classify.Predict is a pure read — worker pools may share one set of
-// weights without racing. Serving replicas must call Warm before going
-// concurrent.
+// weights without racing. Warming the enhancer also compiles its fused
+// execution plan (BN folding, weight packing — ddnet.Warm), so the
+// epilogue-fused forward is what concurrent callers run. Serving
+// replicas must call Warm before going concurrent.
 func (p *Pipeline) Warm() {
 	if p.Enhancer != nil {
-		p.Enhancer.SetTraining(false)
+		p.Enhancer.Warm()
 	}
 	if p.Classifier != nil {
 		p.Classifier.SetTraining(false)

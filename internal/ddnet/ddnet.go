@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"computecovid19/internal/ag"
 	"computecovid19/internal/kernels"
@@ -116,6 +117,12 @@ type DDnet struct {
 	// makes concurrent serve workers safe.
 	evalMu   sync.Mutex
 	evalTabs map[int]*ag.BilinearTable
+
+	// Compiled fused execution plan (plan.go). Nil until Warm; dropped
+	// on SetTraining(true). planMu serializes compilation only — readers
+	// go through the atomic load.
+	planMu sync.Mutex
+	plan   atomic.Pointer[execPlan]
 }
 
 // New constructs a DDnet with Gaussian-initialized weights drawn from
@@ -258,8 +265,15 @@ func (m *DDnet) Params() []*ag.Value {
 	return ps
 }
 
-// SetTraining toggles batch-norm behaviour network-wide.
+// SetTraining toggles batch-norm behaviour network-wide. Entering
+// training mode drops any compiled fused plan: its folded weights bake
+// in BN statistics that are about to change. (Entering eval mode does
+// NOT compile one — that is Warm's job — so the per-call
+// SetTraining(false) on the inference entry points stays cheap.)
 func (m *DDnet) SetTraining(train bool) {
+	if train {
+		m.plan.Store(nil)
+	}
 	m.bnIn.SetTraining(train)
 	for s := 0; s < m.Cfg.Stages; s++ {
 		m.blocks[s].SetTraining(train)

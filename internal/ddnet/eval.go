@@ -39,6 +39,15 @@ func (m *DDnet) bilinearTab(n int) *ag.BilinearTable {
 // Every intermediate is freed as soon as its last consumer has run,
 // so peak arena footprint stays near the widest single stage.
 func (m *DDnet) forwardEval(ctx context.Context, sc *memplan.Scope, x *tensor.Tensor) *tensor.Tensor {
+	// A warmed network with an epilogue-capable rung selected runs the
+	// compiled fused plan (plan.go); everything else — unwarmed models,
+	// training-adjacent callers, non-fused rungs — keeps the layer-wise
+	// path below, which stays bit-identical to the graph forward.
+	if pl := m.plan.Load(); pl != nil {
+		if convEp := kernels.Default().ConvEp; convEp != nil {
+			return m.forwardEvalFused(ctx, sc, x, pl, convEp)
+		}
+	}
 	_, sp := obs.StartCtx(ctx, "ddnet/forward")
 	defer sp.End()
 	ksp := sp.Child("kernels/rung")

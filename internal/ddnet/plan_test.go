@@ -1,0 +1,159 @@
+package ddnet
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"computecovid19/internal/kernels"
+	"computecovid19/internal/memplan"
+	"computecovid19/internal/tensor"
+)
+
+// fusedBudget is the network-level accuracy contract of the compiled
+// plan: BN folding rewrites (x−μ)·γ/√(σ²+ε)+β into scale·x+shift and
+// the epilogue seeds the GEMM accumulator with the bias, each a legal
+// reassociation worth a few float32 ULPs per layer. Accumulated through
+// every layer of the tiny network and clamped to [0, 1], the drift
+// stays far below 1e-3 absolute — while a wrong fold (dropped μ, bias
+// applied twice, unflipped deconv panel) perturbs outputs by O(0.1).
+const fusedBudget = 1e-3
+
+func maxAbsDiff(t *testing.T, want, got []*tensor.Tensor) float64 {
+	t.Helper()
+	var worst float64
+	for i := range want {
+		for j := range want[i].Data {
+			d := math.Abs(float64(want[i].Data[j]) - float64(got[i].Data[j]))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func enhanceInto(m *DDnet, mem *memplan.Arena, imgs []*tensor.Tensor) []*tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(imgs))
+	for i := range outs {
+		outs[i] = tensor.New(imgs[i].Shape[0], imgs[i].Shape[1])
+	}
+	m.EnhanceBatchInto(context.Background(), mem, imgs, outs)
+	return outs
+}
+
+// TestWarmFusedMatchesUnfused is the tentpole accuracy property: a
+// warmed network (BN-folded weights, fused epilogues, pre-flipped
+// deconv panels) enhances within the documented budget of the unwarmed
+// layer-wise forward on the same weights.
+func TestWarmFusedMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := New(rng, TinyConfig())
+	imgs := evalTestImages(rng, 2, 32, 32)
+
+	want := enhanceInto(m, memplan.New(), imgs) // plan not compiled yet
+	if m.plan.Load() != nil {
+		t.Fatal("plain inference must not compile a plan")
+	}
+	m.Warm()
+	if m.plan.Load() == nil {
+		t.Fatal("Warm must compile the fused plan")
+	}
+	got := enhanceInto(m, memplan.New(), imgs)
+	if d := maxAbsDiff(t, want, got); d > fusedBudget {
+		t.Fatalf("fused forward drifted %g from the layer-wise path (budget %g)", d, fusedBudget)
+	}
+}
+
+// TestWarmFusedDeterministicAcrossWorkers pins bit-determinism of the
+// warm path: changing the parallelism (GOMAXPROCS governs the default
+// worker count and hence the chunking of every fused kernel) must not
+// change a single output bit.
+func TestWarmFusedDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := New(rng, TinyConfig())
+	m.Warm()
+	imgs := evalTestImages(rng, 2, 32, 32)
+
+	old := runtime.GOMAXPROCS(1)
+	want := enhanceInto(m, memplan.New(), imgs)
+	runtime.GOMAXPROCS(4)
+	got := enhanceInto(m, memplan.New(), imgs)
+	runtime.GOMAXPROCS(old)
+	requireSameBits(t, want, got, "fused workers=4 vs workers=1")
+}
+
+// TestWarmFallsBackOnNonEpilogueRung pins the rung-selection contract:
+// a compiled plan only runs when the selected rung can execute
+// epilogues; on any other rung the forward takes the layer-wise path
+// and stays bit-identical to the graph twin.
+func TestWarmFallsBackOnNonEpilogueRung(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := New(rng, TinyConfig())
+	imgs := evalTestImages(rng, 1, 32, 32)
+	want := graphEnhance(m, imgs)
+
+	m.Warm()
+	old := kernels.Default().Name
+	defer func() {
+		if err := kernels.SetDefault(old); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := kernels.SetDefault("gemm"); err != nil {
+		t.Fatal(err)
+	}
+	got := enhanceInto(m, memplan.New(), imgs)
+	requireSameBits(t, want, got, "warm model on non-epilogue rung")
+}
+
+// TestSetTrainingInvalidatesPlan pins the invalidation contract: going
+// back to training drops the plan (its folded weights bake in BN
+// statistics that are about to change), and the per-call
+// SetTraining(false) on inference entry points does not resurrect or
+// recompile it.
+func TestSetTrainingInvalidatesPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	m := New(rng, TinyConfig())
+	m.Warm()
+	m.SetTraining(true)
+	if m.plan.Load() != nil {
+		t.Fatal("SetTraining(true) must drop the compiled plan")
+	}
+	m.SetTraining(false)
+	if m.plan.Load() != nil {
+		t.Fatal("SetTraining(false) must not compile a plan (that is Warm's job)")
+	}
+	imgs := evalTestImages(rng, 1, 32, 32)
+	want := graphEnhance(m, imgs)
+	got := enhanceInto(m, memplan.New(), imgs)
+	requireSameBits(t, want, got, "invalidated plan")
+	m.Warm()
+	if m.plan.Load() == nil {
+		t.Fatal("re-Warm after invalidation must recompile")
+	}
+}
+
+// TestAllocsWarmEnhanceFused pins the fused plan's performance
+// invariant: the packed weights live in plan-compile-time buffers and
+// every kernel draws scratch from the pools, so a warm fused
+// EnhanceBatchInto performs zero steady-state heap allocations.
+func TestAllocsWarmEnhanceFused(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	m := New(rng, TinyConfig())
+	m.Warm()
+	imgs := evalTestImages(rng, 1, 32, 32)
+	outs := []*tensor.Tensor{tensor.New(32, 32)}
+	mem := memplan.New()
+	ctx := context.Background()
+	warm := func() { m.EnhanceBatchInto(ctx, mem, imgs, outs) }
+	warm()
+	if m.plan.Load() == nil || kernels.Default().ConvEp == nil {
+		t.Fatal("fused path not active")
+	}
+	if n := testing.AllocsPerRun(20, warm); n != 0 {
+		t.Fatalf("warm fused EnhanceBatchInto allocates %v allocs/op, want 0", n)
+	}
+}

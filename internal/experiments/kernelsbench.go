@@ -104,13 +104,27 @@ func KernelsBench(cfg Config, outPath string) string {
 				c = kernels.ConvCounters(s)
 			}
 			out := make([]float32, s.OutLen())
-			secs := kernelTime(reps, func() {
+			var run func()
+			if im.ConvEp != nil {
+				// Epilogue-capable rungs are measured the way the fused
+				// plan runs the layer: one ConvEp call doing conv + bias +
+				// LeakyReLU (the unfused rungs' cells cover only the
+				// convolution, so the fused speedup is conservative).
+				// Deconv weights are pre-flipped outside the timed region,
+				// exactly like plan compilation.
+				ep := kernels.Epilogue{Bias: randSlice32(rng, s.OutC), Act: true, Slope: 0.01}
+				cw := w
 				if bs.Deconv {
-					im.Deconv(x, w, out, s, rep.Workers)
-				} else {
-					im.Conv(x, w, out, s, rep.Workers)
+					cw = make([]float32, len(w))
+					kernels.FlipDeconvWeights(w, cw, s)
 				}
-			})
+				run = func() { im.ConvEp(x, cw, out, s, rep.Workers, ep) }
+			} else if bs.Deconv {
+				run = func() { im.Deconv(x, w, out, s, rep.Workers) }
+			} else {
+				run = func() { im.Conv(x, w, out, s, rep.Workers) }
+			}
+			secs := kernelTime(reps, run)
 			rr.Layers = append(rr.Layers, KernelLayerResult{
 				Layer: bs.Name, Kind: kind, Seconds: secs,
 				GFLOPS: float64(c.Flops) / secs / 1e9,

@@ -1,0 +1,157 @@
+package kernels
+
+import (
+	"computecovid19/internal/memplan"
+	"computecovid19/internal/parallel"
+)
+
+// The fused rung keeps the gemm rung's tiled im2col multiply and adds a
+// per-output-channel epilogue — bias add plus optional LeakyReLU —
+// applied to each output tile in the same loop that writes it, while
+// the tile is still cache-hot. On the unfused path every layer pays two
+// extra full feature-map passes (BatchNorm read+write, activation
+// read+write) after the convolution; with inference-mode BatchNorm
+// folded into the weights at plan-compile time (nn.FoldConvBN), the
+// whole conv→BN→LeakyReLU sequence becomes one ConvFused call that
+// touches the output exactly once. Transposed convolutions additionally
+// stop re-flipping their weights per call: FlipDeconvWeights runs once
+// at warm time and the flipped panel is cached in the plan.
+
+// Epilogue is the fused per-output-channel post-processing of ConvFused:
+// out[c][·] = act(Σ + Bias[c]), with act = LeakyReLU(Slope) when Act is
+// set. A nil Bias adds nothing; the zero Epilogue makes ConvFused
+// exactly convGEMM.
+type Epilogue struct {
+	// Bias is added per output channel, seeding the accumulator (bias
+	// and partial products commute bit-exactly only when the bias seeds
+	// the sum, which is the order the fused numerics tests document).
+	Bias []float32
+	// Act applies LeakyReLU with Slope to the biased sum.
+	Act bool
+	// Slope is the LeakyReLU negative slope.
+	Slope float32
+}
+
+// ConvFused computes a stride-1 "same" convolution (weights OutC, InC,
+// K, K) via the tiled GEMM path with ep applied tile-locally. For
+// transposed convolutions pass weights pre-flipped with
+// FlipDeconvWeights — a stride-1 deconvolution is exactly a convolution
+// with the spatially flipped filter.
+func ConvFused(x, w, out []float32, s ConvShape, workers int, ep Epilogue) {
+	r := s.InC * s.K * s.K
+	cols := s.H * s.W
+	tile := gemmPanelFloats / r
+	if tile > cols {
+		tile = cols
+	}
+	if tile < 64 {
+		tile = 64
+	}
+	nTiles := (cols + tile - 1) / tile
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	if workers > nTiles {
+		workers = nTiles
+	}
+	if workers == 1 {
+		gemmTilesEp(x, w, out, s, r, cols, tile, 0, nTiles, ep)
+		return
+	}
+	parallel.For(nTiles, workers, func(lo, hi int) {
+		gemmTilesEp(x, w, out, s, r, cols, tile, lo, hi, ep)
+	})
+}
+
+// gemmTilesEp is gemmTiles with the epilogue fused into the tile sweep:
+// the bias seeds each output element's accumulator (one write saved per
+// element) and the activation reruns over the freshly written — still
+// L1-resident — tile row instead of a whole-tensor pass later.
+func gemmTilesEp(x, w, out []float32, s ConvShape, r, cols, tile, lo, hi int, ep Epilogue) {
+	panel := memplan.GetFloats(r * tile)
+	for t := lo; t < hi; t++ {
+		c0 := t * tile
+		n := cols - c0
+		if n > tile {
+			n = tile
+		}
+		stagePatchTile(x, panel, s, c0, n, tile)
+		for co := 0; co < s.OutC; co++ {
+			var bias float32
+			if ep.Bias != nil {
+				bias = ep.Bias[co]
+			}
+			dst := out[co*cols+c0 : co*cols+c0+n]
+			gemmRow(w[co*r:(co+1)*r], panel, dst, tile, bias)
+			if ep.Act {
+				slope := ep.Slope
+				for j, v := range dst {
+					if v < 0 {
+						dst[j] = slope * v
+					}
+				}
+			}
+		}
+	}
+	memplan.PutFloats(panel)
+}
+
+// FlipDeconvWeights rewrites stride-1 transposed-convolution weights
+// from their (InC, OutC, K, K) layout into the spatially flipped
+// (OutC, InC, K, K) layout the convolution paths consume. dst must hold
+// s.OutC·s.InC·s.K·s.K values (only the channel counts and K of s are
+// read). deconvGEMM performs this transform per call into pooled
+// scratch; the fused plan runs it once at warm time and caches the
+// result.
+func FlipDeconvWeights(w, dst []float32, s ConvShape) {
+	kk := s.K * s.K
+	for ci := 0; ci < s.InC; ci++ {
+		for co := 0; co < s.OutC; co++ {
+			src := w[(ci*s.OutC+co)*kk : (ci*s.OutC+co+1)*kk]
+			d := dst[(co*s.InC+ci)*kk : (co*s.InC+ci+1)*kk]
+			for i := 0; i < kk; i++ {
+				d[i] = src[kk-1-i]
+			}
+		}
+	}
+}
+
+// BNActInfer applies a pre-folded inference BatchNorm and LeakyReLU in
+// one pass: out[c][i] = lrelu(scale[c]·x[c][i] + shift[c]). x and out
+// may alias (pure elementwise map); hw is the per-channel plane size.
+// The unfused path pays two full passes here (BatchNormInfer, then the
+// activation); positions where a BatchNorm cannot be folded into a
+// neighbouring convolution (DDnet's dense-layer BN1, whose input is a
+// concat consumed by other readers) use this instead.
+func BNActInfer(x, out []float32, c, hw int, scale, shift []float32, slope float32, workers int) {
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	if workers > c {
+		workers = c
+	}
+	if workers == 1 {
+		// Serial fast path before any closure literal: the fused warm
+		// forward must stay at 0 allocs/op even though For would run the
+		// body inline anyway.
+		bnActChannels(x, out, 0, c, hw, scale, shift, slope)
+		return
+	}
+	parallel.For(c, workers, func(lo, hi int) {
+		bnActChannels(x, out, lo, hi, hw, scale, shift, slope)
+	})
+}
+
+func bnActChannels(x, out []float32, lo, hi, hw int, scale, shift []float32, slope float32) {
+	for ci := lo; ci < hi; ci++ {
+		s, t := scale[ci], shift[ci]
+		base := ci * hw
+		for i := base; i < base+hw; i++ {
+			v := s*x[i] + t
+			if v < 0 {
+				v = slope * v
+			}
+			out[i] = v
+		}
+	}
+}

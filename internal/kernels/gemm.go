@@ -79,7 +79,7 @@ func gemmTiles(x, w, out []float32, s ConvShape, r, cols, tile, lo, hi int) {
 		}
 		stagePatchTile(x, panel, s, c0, n, tile)
 		for co := 0; co < s.OutC; co++ {
-			gemmRow(w[co*r:(co+1)*r], panel, out[co*cols+c0:co*cols+c0+n], tile)
+			gemmRow(w[co*r:(co+1)*r], panel, out[co*cols+c0:co*cols+c0+n], tile, 0)
 		}
 	}
 	memplan.PutFloats(panel)
@@ -88,21 +88,16 @@ func gemmTiles(x, w, out []float32, s ConvShape, r, cols, tile, lo, hi int) {
 // deconvGEMM computes a stride-1 "same" transposed convolution with
 // weights in (InC, OutC, K, K) layout. For stride 1 a transposed
 // convolution is exactly a convolution with the spatially flipped
-// filter, so the weights are transformed once into the (OutC, InC, K,
-// K) flipped layout and the tiled GEMM path does the rest.
+// filter, so the weights are transformed into the (OutC, InC, K, K)
+// flipped layout and the tiled GEMM path does the rest. This is the
+// cold-path fallback: it pays the flip on every call into pooled
+// scratch. Warm inference goes through the fused execution plan, which
+// runs FlipDeconvWeights once at plan-compile time and feeds the cached
+// panel to ConvFused instead.
 func deconvGEMM(x, w, out []float32, s ConvShape, workers int) {
-	kk := s.K * s.K
-	// Pooled scratch; the flip loop below writes every element.
-	wc := memplan.GetFloats(s.OutC * s.InC * kk)
-	for ci := 0; ci < s.InC; ci++ {
-		for co := 0; co < s.OutC; co++ {
-			src := w[(ci*s.OutC+co)*kk : (ci*s.OutC+co+1)*kk]
-			dst := wc[(co*s.InC+ci)*kk : (co*s.InC+ci+1)*kk]
-			for i := 0; i < kk; i++ {
-				dst[i] = src[kk-1-i]
-			}
-		}
-	}
+	// Pooled scratch; FlipDeconvWeights writes every element.
+	wc := memplan.GetFloats(s.OutC * s.InC * s.K * s.K)
+	FlipDeconvWeights(w, wc, s)
 	convGEMM(x, wc, out, s, workers)
 	memplan.PutFloats(wc)
 }
@@ -172,14 +167,17 @@ func zeroFill(s []float32) {
 	}
 }
 
-// gemmRow computes dst = wrow · panel for one output channel over one
-// column tile: dst[j] = Σ_r wrow[r]·panel[r][j]. The reduction is
-// unrolled ×4 (the LU rung, applied along the channel × tap
-// dimension); each output element keeps a single accumulator updated
-// in ascending-r order, matching the naive kernels' summation order.
-func gemmRow(wrow, panel, dst []float32, pstride int) {
+// gemmRow computes dst = bias + wrow · panel for one output channel
+// over one column tile: dst[j] = bias + Σ_r wrow[r]·panel[r][j]. The
+// reduction is unrolled ×4 (the LU rung, applied along the channel ×
+// tap dimension); each output element keeps a single accumulator
+// updated in ascending-r order, matching the naive kernels' summation
+// order. The plain gemm rung passes bias 0, which seeds the
+// accumulator with the same exact zero as before; the fused rung seeds
+// it with the folded bias, saving the separate bias pass.
+func gemmRow(wrow, panel, dst []float32, pstride int, bias float32) {
 	for j := range dst {
-		dst[j] = 0
+		dst[j] = bias
 	}
 	n := len(dst)
 	r := len(wrow)

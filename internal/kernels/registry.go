@@ -24,6 +24,15 @@ type Impl struct {
 	// Deconv computes a stride-1 "same" transposed convolution
 	// (weights InC,OutC,K,K).
 	Deconv func(x, w, out []float32, s ConvShape, workers int)
+	// ConvEp, when non-nil, computes Conv with a fused per-output-
+	// channel epilogue (bias + optional LeakyReLU applied tile-locally).
+	// Only epilogue-capable rungs set it; the fused execution plan
+	// (ddnet plan compilation, the bench runner's fused walk) uses it
+	// for BN-folded layers and falls back to Conv + separate passes on
+	// rungs without it. Transposed convolutions go through ConvEp too,
+	// with weights pre-flipped once at plan-compile time
+	// (FlipDeconvWeights).
+	ConvEp func(x, w, out []float32, s ConvShape, workers int, ep Epilogue)
 }
 
 var (
@@ -77,7 +86,15 @@ func init() {
 		Conv:    convGEMM,
 		Deconv:  deconvGEMM,
 	})
-	defName = "gemm"
+	register(&Impl{
+		Name:    "fused",
+		Desc:    "gemm + fused bias/BN/LeakyReLU epilogue; warm-time weight packing, persistent worker pool",
+		Variant: REFPFLU,
+		Conv:    convGEMM,
+		Deconv:  deconvGEMM,
+		ConvEp:  ConvFused,
+	})
+	defName = "fused"
 }
 
 // Select returns the named rung.

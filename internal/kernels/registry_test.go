@@ -212,7 +212,7 @@ func TestGatherDeconvTilingRace(t *testing.T) {
 	MustSelect("ref").Deconv(x, w, want, s, 1)
 
 	var wg sync.WaitGroup
-	for _, name := range []string{"ref", "ref+pf", "ref+pf+lu", "gemm"} {
+	for _, name := range []string{"ref", "ref+pf", "ref+pf+lu", "gemm", "fused"} {
 		for i := 0; i < 3; i++ {
 			wg.Add(1)
 			go func(name string) {

@@ -43,12 +43,22 @@ func RunDDnetInference(cfg Arch, size int, v Variant, workers int, rng *rand.Ran
 // rung, and returns the measured per-class wall time. This is the CPU
 // "OpenCL runtime" measurement feeding Tables 4, 5 and 7; weights are
 // random, as only the data movement and arithmetic are being measured.
+//
+// Epilogue-capable rungs (im.ConvEp != nil) are measured the way the
+// fused execution plan actually runs them: each conv/deconv→BN→act
+// triple becomes one ConvEp call (the BN fold and the deconv weight
+// flip happen at plan-compile time, i.e. outside the timed region —
+// random weights stand in for folded ones since only data movement and
+// arithmetic are measured), and the unfoldable dense-layer BN1
+// positions run the single-pass BNActInfer instead of BatchNorm +
+// activation passes.
 func RunDDnetImpl(cfg Arch, size int, im *Impl, workers int, rng *rand.Rand) Timing {
 	var t Timing
 	f := cfg.BaseChannels
 	g := cfg.Growth
 	blockOut := f + cfg.DenseLayers*g
 	h := size
+	fused := im.ConvEp != nil
 
 	randBuf := func(n int) []float32 {
 		b := make([]float32, n)
@@ -63,6 +73,11 @@ func RunDDnetImpl(cfg Arch, size int, im *Impl, workers int, rng *rand.Rand) Tim
 		*class += time.Since(start)
 	}
 	bnAct := func(x []float32, c, hh int) {
+		if fused {
+			// The fused plan folds this BatchNorm into the preceding
+			// convolution's epilogue; conv/deconvEp below timed it.
+			panic("kernels: bnAct reached on the fused path")
+		}
 		gamma := randBuf(c)
 		beta := randBuf(c)
 		mean := randBuf(c)
@@ -75,6 +90,38 @@ func RunDDnetImpl(cfg Arch, size int, im *Impl, workers int, rng *rand.Rand) Tim
 			LeakyReLU(x, 0.01, workers)
 		})
 	}
+	// convBN is one conv→BN→act position: one epilogue call on the
+	// fused path, conv plus two separate full passes otherwise.
+	convBN := func(x, w, out []float32, s ConvShape, hh int) {
+		if fused {
+			b := randBuf(s.OutC) // stands in for the plan's folded bias
+			timeIt(&t.Conv, func() {
+				im.ConvEp(x, w, out, s, workers, Epilogue{Bias: b, Act: true, Slope: 0.01})
+			})
+			return
+		}
+		timeIt(&t.Conv, func() { im.Conv(x, w, out, s, workers) })
+		bnAct(out, s.OutC, hh)
+	}
+	// deconvBN is one deconv(→BN→act) position. The fused path consumes
+	// the plan's pre-flipped weight panel (flip outside the timed
+	// region), the unfused path pays the rung's own per-call handling.
+	deconvBN := func(x, w, out []float32, s ConvShape, hh int, withBN bool) {
+		if fused {
+			wf := make([]float32, len(w))
+			FlipDeconvWeights(w, wf, s)
+			ep := Epilogue{}
+			if withBN {
+				ep = Epilogue{Bias: randBuf(s.OutC), Act: true, Slope: 0.01}
+			}
+			timeIt(&t.Deconv, func() { im.ConvEp(x, wf, out, s, workers, ep) })
+			return
+		}
+		timeIt(&t.Deconv, func() { im.Deconv(x, w, out, s, workers) })
+		if withBN {
+			bnAct(out, s.OutC, hh)
+		}
+	}
 
 	// Stem.
 	x := randBuf(size * size)
@@ -82,8 +129,7 @@ func RunDDnetImpl(cfg Arch, size int, im *Impl, workers int, rng *rand.Rand) Tim
 	{
 		s := ConvShape{InC: 1, H: h, W: h, OutC: f, K: 7}
 		w := randBuf(s.WeightLen())
-		timeIt(&t.Conv, func() { im.Conv(x, w, cur, s, workers) })
-		bnAct(cur, f, h)
+		convBN(x, w, cur, s, h)
 	}
 
 	skips := [][]float32{append([]float32(nil), cur...)} // stem skip
@@ -101,15 +147,27 @@ func RunDDnetImpl(cfg Arch, size int, im *Impl, workers int, rng *rand.Rand) Tim
 		ch := f
 		for l := 0; l < cfg.DenseLayers; l++ {
 			in := append([]float32(nil), features[:ch*h*h]...)
-			bnAct(in, ch, h)
+			if fused {
+				// BN1 cannot fold into a neighbouring convolution (its
+				// input is the concat, read by other consumers): the
+				// plan runs the single-pass folded BN + activation.
+				scale := randBuf(ch)
+				shift := randBuf(ch)
+				timeIt(&t.Other, func() {
+					BNActInfer(in, in, ch, h*h, scale, shift, 0.01, workers)
+				})
+			} else {
+				bnAct(in, ch, h)
+			}
 			s1 := ConvShape{InC: ch, H: h, W: h, OutC: 4 * g, K: 1}
 			mid := make([]float32, s1.OutLen())
 			w1 := randBuf(s1.WeightLen())
-			timeIt(&t.Conv, func() { im.Conv(in, w1, mid, s1, workers) })
-			bnAct(mid, 4*g, h)
+			convBN(in, w1, mid, s1, h)
 			s2 := ConvShape{InC: 4 * g, H: h, W: h, OutC: g, K: cfg.Kernel}
 			grow := features[ch*h*h : (ch+g)*h*h]
 			w2 := randBuf(s2.WeightLen())
+			// The growth conv has no BN/act of its own (its output joins
+			// the dense concat raw) — plain conv on every rung.
 			timeIt(&t.Conv, func() { im.Conv(mid, w2, grow, s2, workers) })
 			ch += g
 		}
@@ -123,8 +181,7 @@ func RunDDnetImpl(cfg Arch, size int, im *Impl, workers int, rng *rand.Rand) Tim
 		s := ConvShape{InC: blockOut, H: h, W: h, OutC: f, K: 1}
 		cur = make([]float32, s.OutLen())
 		w := randBuf(s.WeightLen())
-		timeIt(&t.Conv, func() { im.Conv(features, w, cur, s, workers) })
-		bnAct(cur, f, h)
+		convBN(features, w, cur, s, h)
 	}
 
 	for st := 0; st < cfg.Stages; st++ {
@@ -143,8 +200,7 @@ func RunDDnetImpl(cfg Arch, size int, im *Impl, workers int, rng *rand.Rand) Tim
 		sA := ConvShape{InC: f + sc, H: h, W: h, OutC: 2 * f, K: cfg.Kernel}
 		bufA := make([]float32, sA.OutLen())
 		wA := randBuf(sA.WeightLen())
-		timeIt(&t.Deconv, func() { im.Deconv(cat, wA, bufA, sA, workers) })
-		bnAct(bufA, 2*f, h)
+		deconvBN(cat, wA, bufA, sA, h, true)
 
 		outCh := f
 		if st == cfg.Stages-1 {
@@ -153,10 +209,7 @@ func RunDDnetImpl(cfg Arch, size int, im *Impl, workers int, rng *rand.Rand) Tim
 		sB := ConvShape{InC: 2 * f, H: h, W: h, OutC: outCh, K: 1}
 		cur = make([]float32, sB.OutLen())
 		wB := randBuf(sB.WeightLen())
-		timeIt(&t.Deconv, func() { im.Deconv(bufA, wB, cur, sB, workers) })
-		if st != cfg.Stages-1 {
-			bnAct(cur, outCh, h)
-		}
+		deconvBN(bufA, wB, cur, sB, h, st != cfg.Stages-1)
 	}
 	return t
 }

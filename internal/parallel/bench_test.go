@@ -1,0 +1,78 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// forkJoinFor is the pre-pool dispatch strategy — one fresh goroutine
+// per chunk, joined with a WaitGroup — kept here as the reference the
+// pooled dispatch benchmarks are measured against.
+func forkJoinFor(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// benchDispatch measures pure dispatch overhead: nchunks chunks of one
+// index each, with an empty body, so the entire cost is distribution +
+// join. chunks=1 exercises the inline fast path of both strategies.
+func benchDispatch(b *testing.B, nchunks int, impl func(n, workers int, fn func(lo, hi int))) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		impl(nchunks, nchunks, func(lo, hi int) {})
+	}
+}
+
+func BenchmarkDispatchForkJoin(b *testing.B) {
+	for _, c := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("chunks=%d", c), func(b *testing.B) {
+			benchDispatch(b, c, forkJoinFor)
+		})
+	}
+}
+
+func BenchmarkDispatchPooled(b *testing.B) {
+	for _, c := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("chunks=%d", c), func(b *testing.B) {
+			benchDispatch(b, c, For)
+		})
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		For(1024, 4, func(lo, hi int) {
+			s := 0
+			for j := lo; j < hi; j++ {
+				s += j
+			}
+			_ = s
+		})
+	}
+}

@@ -1,5 +1,5 @@
 // Package parallel provides the work-distribution primitives used by every
-// compute-heavy loop in the repository: a bounded worker pool and
+// compute-heavy loop in the repository: a persistent worker pool and
 // grain-controlled parallel-for helpers.
 //
 // The package mirrors the role the OpenCL runtime plays in the paper's
@@ -7,21 +7,34 @@
 // pool maps them onto OS threads. Workers default to GOMAXPROCS but can be
 // overridden per call, which the benchmark harness uses to emulate
 // platforms with different core counts.
+//
+// Dispatch goes through a pool of persistent goroutines rather than a
+// per-call fork/join: a 45-layer DDnet forward issues one For per layer,
+// and spawning + joining fresh goroutines for each paid a scheduler
+// round-trip per layer per slice. Workers created once at first use spin
+// briefly after finishing a job — catching the next layer's dispatch
+// while still running — and then park on a channel receive. The caller
+// always participates in its own job (claiming chunks from the same
+// atomic cursor as the workers), so a For never deadlocks even when
+// every pool worker is busy or the loop body issues a nested For.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"computecovid19/internal/obs"
 )
 
-// chunksSpawned counts goroutine chunks launched by For/Reduce — the
-// inline (workers == 1) fast path spawns none and is not counted, which
-// the regression tests pin.
+// chunksSpawned counts chunks dispatched by For/Reduce — the inline
+// (workers == 1) fast path dispatches none and is not counted, which
+// the regression tests pin. The name predates the persistent pool
+// (chunks used to each get their own goroutine); the metric's meaning —
+// parallel dispatch events — is unchanged.
 var chunksSpawned = obs.GetCounter("parallel_chunks_spawned_total")
 
-// ChunksSpawned reports the lifetime count of spawned chunks.
+// ChunksSpawned reports the lifetime count of dispatched chunks.
 func ChunksSpawned() uint64 { return chunksSpawned.Value() }
 
 // DefaultWorkers reports the worker count used when a caller passes
@@ -30,11 +43,108 @@ func DefaultWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// forJob is one For call's shared state. Workers and the caller claim
+// chunk c = next.Add(1)-1 until the range is exhausted; wg tracks chunk
+// completions (the caller waits on it) and refs counts live references
+// (the caller, plus one per pointer sitting in the dispatch channel) so
+// the job is recycled only when nobody — not even a parked send — can
+// still reach it. All parameter fields are written before the job is
+// published via channel send, which gives every receiver a
+// happens-before edge; a worker that drains a stale pointer after the
+// range is exhausted sees next past the end, claims nothing, and just
+// drops its reference.
+type forJob struct {
+	fn    func(lo, hi int)
+	n     int
+	chunk int
+	next  atomic.Int64
+	refs  atomic.Int32
+	wg    sync.WaitGroup
+}
+
+// run claims and executes chunks until the range is exhausted.
+func (j *forJob) run() {
+	for {
+		c := int(j.next.Add(1)) - 1
+		lo := c * j.chunk
+		if lo >= j.n {
+			return
+		}
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(lo, hi)
+		j.wg.Done()
+	}
+}
+
+// release drops one reference and recycles the job when it was the
+// last. sync.Pool's Put/Get pair synchronizes with the next owner's
+// plain-field writes, so reuse is race-free.
+func (j *forJob) release() {
+	if j.refs.Add(-1) == 0 {
+		j.fn = nil // do not pin the closure while pooled
+		jobPool.Put(j)
+	}
+}
+
+var jobPool = sync.Pool{New: func() any { return new(forJob) }}
+
+// dispatchSpin bounds the post-job spin: a worker that just finished a
+// job yields this many times looking for the next dispatch before
+// parking on a blocking receive. Back-to-back layer dispatches (the
+// DDnet forward) land in the spin window; an idle pool costs nothing.
+const dispatchSpin = 64
+
+var (
+	poolOnce sync.Once
+	jobs     chan *forJob
+)
+
+func startPool() {
+	nw := runtime.GOMAXPROCS(0)
+	if nw < 1 {
+		nw = 1
+	}
+	cap := 8 * nw
+	if cap < 64 {
+		cap = 64
+	}
+	jobs = make(chan *forJob, cap)
+	for i := 0; i < nw; i++ {
+		go poolWorker()
+	}
+}
+
+// poolWorker is one persistent pool goroutine: park on the dispatch
+// channel, help with the job, spin briefly for the next one, park again.
+func poolWorker() {
+	for {
+		j := <-jobs
+		for j != nil {
+			j.run()
+			j.release()
+			j = nil
+			for i := 0; i < dispatchSpin && j == nil; i++ {
+				select {
+				case j = <-jobs:
+				default:
+					runtime.Gosched()
+				}
+			}
+		}
+	}
+}
+
 // For splits the half-open index range [0, n) into contiguous chunks and
-// runs fn on each chunk from its own goroutine. fn receives the chunk
-// bounds [lo, hi). When workers <= 0 the pool uses DefaultWorkers.
-// For n == 0 it returns immediately; when only one worker is useful the
-// call runs inline with no goroutine overhead.
+// runs fn on each chunk. fn receives the chunk bounds [lo, hi). When
+// workers <= 0 the pool uses DefaultWorkers. For n == 0 it returns
+// immediately; when only one worker is useful the call runs inline with
+// no dispatch overhead. Otherwise up to workers-1 pool workers are woken
+// with non-blocking sends — a full channel means every worker is already
+// busy — and the caller works the same chunk cursor itself, so progress
+// never depends on pool availability.
 func For(n, workers int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -49,23 +159,31 @@ func For(n, workers int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
+	poolOnce.Do(startPool)
 	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	spawned := uint64(0)
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	nchunks := (n + chunk - 1) / chunk
+	j := jobPool.Get().(*forJob)
+	j.fn, j.n, j.chunk = fn, n, chunk
+	j.next.Store(0)
+	j.refs.Store(1)
+	j.wg.Add(nchunks)
+	chunksSpawned.Add(uint64(nchunks))
+	for i := 1; i < workers; i++ {
+		j.refs.Add(1)
+		sent := false
+		select {
+		case jobs <- j:
+			sent = true
+		default:
 		}
-		spawned++
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+		if !sent {
+			j.refs.Add(-1)
+			break
+		}
 	}
-	chunksSpawned.Add(spawned)
-	wg.Wait()
+	j.run()
+	j.wg.Wait()
+	j.release()
 }
 
 // ForTimed is For wrapped in an obs span named "parallel/<name>" with
@@ -109,11 +227,11 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 	return out
 }
 
-// Reduce computes a parallel reduction over [0, n). Each worker folds its
-// chunk with fold starting from zero, and the per-chunk partials are
-// combined serially with merge. fold and merge must be associative for
-// the result to be deterministic; for float32/float64 sums the result can
-// differ from a serial loop only by rounding.
+// Reduce computes a parallel reduction over [0, n). Each chunk is folded
+// with fold starting from zero, and the per-chunk partials are combined
+// serially with merge, in chunk order. fold and merge must be
+// associative for the result to be deterministic; for float32/float64
+// sums the result can differ from a serial loop only by rounding.
 func Reduce[T any](n, workers int, zero T, fold func(acc T, i int) T, merge func(a, b T) T) T {
 	if n <= 0 {
 		return zero
@@ -131,28 +249,18 @@ func Reduce[T any](n, workers int, zero T, fold func(acc T, i int) T, merge func
 		}
 		return acc
 	}
+	// For with the same clamped worker count uses the same chunk size,
+	// so lo/chunk below is the chunk's index into the partials.
 	chunk := (n + workers - 1) / workers
 	nchunks := (n + chunk - 1) / chunk
-	chunksSpawned.Add(uint64(nchunks))
 	partial := make([]T, nchunks)
-	var wg sync.WaitGroup
-	for c := 0; c < nchunks; c++ {
-		lo := c * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	For(n, workers, func(lo, hi int) {
+		acc := zero
+		for i := lo; i < hi; i++ {
+			acc = fold(acc, i)
 		}
-		wg.Add(1)
-		go func(c, lo, hi int) {
-			defer wg.Done()
-			acc := zero
-			for i := lo; i < hi; i++ {
-				acc = fold(acc, i)
-			}
-			partial[c] = acc
-		}(c, lo, hi)
-	}
-	wg.Wait()
+		partial[lo/chunk] = acc
+	})
 	acc := partial[0]
 	for _, p := range partial[1:] {
 		acc = merge(acc, p)

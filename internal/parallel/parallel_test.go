@@ -168,15 +168,3 @@ func TestMapDeterministicProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
-
-func BenchmarkForOverhead(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		For(1024, 4, func(lo, hi int) {
-			s := 0
-			for j := lo; j < hi; j++ {
-				s += j
-			}
-			_ = s
-		})
-	}
-}

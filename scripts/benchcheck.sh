@@ -25,7 +25,7 @@
 #   COUNT       go test -count; the gate compares per-benchmark medians
 #               across runs to suppress scheduler noise (default: 5)
 #   PKGS        packages to benchmark (default: ./internal/kernels/
-#               ./internal/obs/ ./internal/core/)
+#               ./internal/obs/ ./internal/core/ ./internal/parallel/)
 #   GITHUB_STEP_SUMMARY  when set (GitHub Actions sets it), both
 #               benchdiff passes also append their verdicts there as
 #               markdown tables
@@ -61,7 +61,7 @@ THRESHOLD="${THRESHOLD:-15}"
 FLOOR="${FLOOR:-20}"
 BENCHTIME="${BENCHTIME:-200ms}"
 COUNT="${COUNT:-5}"
-PKGS="${PKGS:-./internal/kernels/ ./internal/obs/ ./internal/core/}"
+PKGS="${PKGS:-./internal/kernels/ ./internal/obs/ ./internal/core/ ./internal/parallel/}"
 
 tmp="$(mktemp -d -t benchcheck.XXXXXXXX)"
 cleanup() {
